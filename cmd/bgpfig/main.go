@@ -1,0 +1,124 @@
+// Command bgpfig regenerates the paper's evaluation figures.
+//
+// Usage:
+//
+//	bgpfig -list
+//	bgpfig -fig 7                  # one figure at paper scale
+//	bgpfig -fig all -quick         # everything at reduced scale
+//	bgpfig -fig 1 -nodes 60 -trials 2 -seed 7 -o out/
+//
+// Each figure is printed as an aligned text table (the same series the
+// paper plots); -o additionally writes one .txt per figure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"bgpsim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bgpfig:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bgpfig", flag.ContinueOnError)
+	var (
+		figID  = fs.String("fig", "all", "figure to regenerate: all, 1..13, or an ablation id")
+		list   = fs.Bool("list", false, "list available experiments and exit")
+		quick  = fs.Bool("quick", false, "reduced scale (60 nodes, 1 trial, coarse axes)")
+		nodes  = fs.Int("nodes", 0, "override node/AS count")
+		trials = fs.Int("trials", 0, "override trials per data point")
+		seed   = fs.Int64("seed", 0, "override base seed")
+		maxAS  = fs.Int("max-as-size", 0, "override fig13's routers-per-AS cap (paper: 100)")
+		outDir = fs.String("o", "", "also write each figure to <dir>/<id>.txt")
+		asJSON = fs.Bool("json", false, "with -o: additionally write <id>.json for plotting tools")
+		quiet  = fs.Bool("q", false, "suppress progress output")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range bgpsim.Experiments() {
+			fmt.Printf("%-26s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+
+	opts := bgpsim.PaperOptions()
+	if *quick {
+		opts = bgpsim.QuickOptions()
+	}
+	if *nodes > 0 {
+		opts.Nodes = *nodes
+	}
+	if *trials > 0 {
+		opts.Trials = *trials
+	}
+	if *seed != 0 {
+		opts.Seed = *seed
+	}
+	if *maxAS > 0 {
+		opts.RealisticMaxASSize = *maxAS
+	}
+
+	var exps []bgpsim.Experiment
+	if *figID == "all" {
+		exps = bgpsim.Experiments()
+	} else {
+		e, err := bgpsim.LookupExperiment(*figID)
+		if err != nil {
+			return err
+		}
+		exps = []bgpsim.Experiment{e}
+	}
+
+	for _, e := range exps {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "== %s: %s\n", e.ID, e.Title)
+			opts.Progress = func(done, total int) {
+				fmt.Fprintf(os.Stderr, "\r   %d/%d cells", done, total)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
+		fig, err := e.Run(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		out := fig.Render()
+		fmt.Println(out)
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				return err
+			}
+			name := strings.ReplaceAll(e.ID, " ", "-")
+			if err := os.WriteFile(filepath.Join(*outDir, name+".txt"), []byte(out), 0o644); err != nil {
+				return err
+			}
+			if *asJSON {
+				f, err := os.Create(filepath.Join(*outDir, name+".json"))
+				if err != nil {
+					return err
+				}
+				err = fig.WriteJSON(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+				if err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

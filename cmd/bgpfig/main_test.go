@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListExperiments(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownFigureErrors(t *testing.T) {
+	if err := run([]string{"-fig", "99"}); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestRunOneFigureQuickWithOutput(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{"-fig", "1", "-quick", "-nodes", "24", "-trials", "1", "-q", "-o", dir, "-json"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig1.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Fig 1") {
+		t.Errorf("figure file content wrong:\n%s", data)
+	}
+	jsonData, err := os.ReadFile(filepath.Join(dir, "fig1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(jsonData), `"series"`) {
+		t.Errorf("json figure missing series:\n%s", jsonData)
+	}
+}
+
+func TestBadFlagErrors(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,127 @@
+// Command bgpsim runs one BGP large-scale-failure scenario and reports
+// the post-failure convergence delay and message counts.
+//
+// Usage:
+//
+//	bgpsim -topo skewed-70-30 -nodes 120 -fail 5 -scheme mrai=0.5
+//	bgpsim -topo realistic -nodes 120 -fail 10 -scheme batch+dynamic -trials 5
+//
+// Schemes: mrai=<seconds>, degree=<low>,<high>, dynamic, batch[=<seconds>],
+// batch+dynamic.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"bgpsim"
+	"bgpsim/internal/topology"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bgpsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("bgpsim", flag.ContinueOnError)
+	var (
+		topoKind = fs.String("topo", "skewed-70-30", "topology kind (see topogen -kinds)")
+		nodes    = fs.Int("nodes", 120, "node count (AS count for realistic)")
+		failPct  = fs.Float64("fail", 5, "failure size, percent of routers")
+		scheme   = fs.String("scheme", "mrai=30", "scheme: mrai=S | degree=L,H | dynamic | batch[=S] | batch+dynamic")
+		trials   = fs.Int("trials", 1, "replicated trials")
+		seed     = fs.Int64("seed", 1, "base seed")
+		prefixes = fs.Int("prefixes", 1, "prefixes originated per AS")
+		policy   = fs.Bool("policy", false, "enable Gao-Rexford policies (hierarchical relationships)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sch, err := parseScheme(*scheme)
+	if err != nil {
+		return err
+	}
+	base := bgpsim.DefaultParams()
+	base.PrefixesPerAS = *prefixes
+	sc := bgpsim.Scenario{
+		Topology:           bgpsim.TopologySpec{Kind: topology.Kind(*topoKind), N: *nodes},
+		Failure:            bgpsim.GeographicFailure(*failPct / 100),
+		Scheme:             sch,
+		Base:               &base,
+		PolicyHierarchical: *policy,
+		Seed:               *seed,
+	}
+	st, err := bgpsim.RunTrials(sc, *trials)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "topology      %s n=%d\n", *topoKind, *nodes)
+	fmt.Fprintf(out, "failure       %.3g%% of routers (geographic, grid center)\n", *failPct)
+	fmt.Fprintf(out, "scheme        %s\n", sch.Name)
+	fmt.Fprintf(out, "trials        %d\n", st.N)
+	fmt.Fprintf(out, "delay         %.3fs mean (std %.3fs)\n", st.MeanDelay.Seconds(), st.StdDelay.Seconds())
+	fmt.Fprintf(out, "messages      %.0f mean (std %.0f)\n", st.MeanMessages, st.StdMessages)
+	if st.MeanDiscard > 0 {
+		fmt.Fprintf(out, "stale dropped %.0f mean\n", st.MeanDiscard)
+	}
+	for i, r := range st.Results {
+		fmt.Fprintf(out, "  trial %d: delay=%.3fs msgs=%d (ann=%d wd=%d) failed=%d/%d\n",
+			i, r.Delay.Seconds(), r.Messages, r.Announcements, r.Withdrawals, r.FailedNodes, r.Nodes)
+	}
+	return nil
+}
+
+// parseScheme translates the CLI scheme syntax.
+func parseScheme(s string) (bgpsim.Scheme, error) {
+	switch {
+	case s == "dynamic":
+		return bgpsim.DynamicMRAI(), nil
+	case s == "batch+dynamic":
+		return bgpsim.BatchedDynamic(), nil
+	case s == "batch":
+		return bgpsim.BatchedProcessing(500 * time.Millisecond), nil
+	case strings.HasPrefix(s, "batch="):
+		d, err := parseSeconds(strings.TrimPrefix(s, "batch="))
+		if err != nil {
+			return bgpsim.Scheme{}, err
+		}
+		return bgpsim.BatchedProcessing(d), nil
+	case strings.HasPrefix(s, "mrai="):
+		d, err := parseSeconds(strings.TrimPrefix(s, "mrai="))
+		if err != nil {
+			return bgpsim.Scheme{}, err
+		}
+		return bgpsim.ConstantMRAI(d), nil
+	case strings.HasPrefix(s, "degree="):
+		parts := strings.Split(strings.TrimPrefix(s, "degree="), ",")
+		if len(parts) != 2 {
+			return bgpsim.Scheme{}, fmt.Errorf("degree scheme needs low,high seconds: %q", s)
+		}
+		low, err := parseSeconds(parts[0])
+		if err != nil {
+			return bgpsim.Scheme{}, err
+		}
+		high, err := parseSeconds(parts[1])
+		if err != nil {
+			return bgpsim.Scheme{}, err
+		}
+		return bgpsim.DegreeDependentMRAI(5, low, high), nil
+	default:
+		return bgpsim.Scheme{}, fmt.Errorf("unknown scheme %q", s)
+	}
+}
+
+func parseSeconds(s string) (time.Duration, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad seconds value %q", s)
+	}
+	return time.Duration(v * float64(time.Second)), nil
+}

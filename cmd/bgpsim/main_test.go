@@ -1,0 +1,61 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseSchemeVariants(t *testing.T) {
+	cases := []struct {
+		in       string
+		wantName string
+	}{
+		{"mrai=0.5", "MRAI=0.5s"},
+		{"mrai=30", "MRAI=30s"},
+		{"dynamic", "dynamic"},
+		{"batch", "batch,MRAI=0.5s"},
+		{"batch=2.25", "batch,MRAI=2.25s"},
+		{"batch+dynamic", "batch+dynamic"},
+	}
+	for _, c := range cases {
+		got, err := parseScheme(c.in)
+		if err != nil {
+			t.Errorf("parseScheme(%q): %v", c.in, err)
+			continue
+		}
+		if got.Name != c.wantName {
+			t.Errorf("parseScheme(%q).Name = %q, want %q", c.in, got.Name, c.wantName)
+		}
+		if got.Apply == nil {
+			t.Errorf("parseScheme(%q) has nil Apply", c.in)
+		}
+	}
+}
+
+func TestParseSchemeDegree(t *testing.T) {
+	got, err := parseScheme("degree=0.5,2.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Apply == nil {
+		t.Fatal("nil Apply")
+	}
+}
+
+func TestParseSchemeErrors(t *testing.T) {
+	for _, in := range []string{"", "nope", "mrai=", "mrai=abc", "mrai=-1",
+		"degree=1", "degree=a,b", "batch=x"} {
+		if _, err := parseScheme(in); err == nil {
+			t.Errorf("parseScheme(%q) accepted", in)
+		}
+	}
+}
+
+func TestParseSeconds(t *testing.T) {
+	if d, err := parseSeconds("1.5"); err != nil || d != 1500*time.Millisecond {
+		t.Errorf("parseSeconds(1.5) = %v, %v", d, err)
+	}
+	if _, err := parseSeconds("-2"); err == nil {
+		t.Error("negative accepted")
+	}
+}

@@ -1,0 +1,42 @@
+package main
+
+import "testing"
+
+func TestParseSchemeVariants(t *testing.T) {
+	for _, in := range []string{"dynamic", "batch", "batch+dynamic", "oracle", "mrai=0.5", "mrai=30"} {
+		s, err := parseScheme(in)
+		if err != nil {
+			t.Errorf("parseScheme(%q): %v", in, err)
+			continue
+		}
+		if s.Apply == nil {
+			t.Errorf("parseScheme(%q): nil Apply", in)
+		}
+	}
+}
+
+func TestParseSchemeRejectsGarbage(t *testing.T) {
+	for _, in := range []string{"", "wat", "mrai=", "mrai=-1"} {
+		if _, err := parseScheme(in); err == nil {
+			t.Errorf("parseScheme(%q) accepted", in)
+		}
+	}
+}
+
+func TestTraceRunEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end trace run skipped in -short")
+	}
+	if err := run([]string{"-nodes", "24", "-fail", "10", "-scheme", "mrai=0.5"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceRunUnknownEventKind(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end trace run skipped in -short")
+	}
+	if err := run([]string{"-nodes", "24", "-events", "-kind", "bogus"}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestKindsListing(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-kinds"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"skewed-70-30", "realistic", "waxman", "glp"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("kinds output missing %q", want)
+		}
+	}
+}
+
+func TestGenerateWithStats(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-kind", "skewed-70-30", "-n", "60", "-seed", "3", "-stats"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"nodes          60", "connected      true", "assortativity", "degree histogram:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stats output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestGenerateJSONToStdout(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-kind", "skewed-70-30", "-n", "30"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"nodes"`) || !strings.Contains(out.String(), `"links"`) {
+		t.Error("stdout JSON missing sections")
+	}
+}
+
+func TestWriteAndReadBack(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "topo.json")
+	var out bytes.Buffer
+	if err := run([]string{"-kind", "internet-like", "-n", "40", "-o", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"-in", path, "-stats"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "nodes          40") {
+		t.Errorf("read-back stats wrong:\n%s", out.String())
+	}
+}
+
+func TestBadKindErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-kind", "nonsense", "-n", "10"}, &out); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestMissingInputFileErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-in", "/does/not/exist.json"}, &out); err == nil {
+		t.Error("missing input accepted")
+	}
+}

@@ -1,0 +1,166 @@
+// Package analysis turns a recorded simulation trace into the
+// convergence diagnostics the paper reasons about informally: how update
+// activity evolves over time after a failure, when each router's routes
+// stop changing, and which routers carry the load. It consumes
+// trace.Recorder output and produces renderable reports.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"bgpsim/internal/stats"
+	"bgpsim/internal/trace"
+)
+
+// Report is the digest of one simulation window.
+type Report struct {
+	// WindowStart anchors relative times (typically the failure instant).
+	WindowStart time.Duration
+	// Bucket is the time-series resolution.
+	Bucket time.Duration
+	// Sends[i] counts route-level updates sent in bucket i.
+	Sends stats.Series
+	// RouteChanges[i] counts Loc-RIB changes in bucket i.
+	RouteChanges stats.Series
+	// StabilizationCDF is the distribution of per-(node, destination)
+	// final-change times relative to WindowStart: StabilizationCDF.At(t)
+	// is the fraction of eventually-stable routes already stable at t.
+	StabilizationCDF stats.CDF
+	// PerNodeSends maps node -> updates sent in the window.
+	PerNodeSends map[int]int
+	// Totals.
+	TotalSends        int
+	TotalWithdrawals  int
+	TotalRouteChanges int
+}
+
+// Analyze digests the events that fall at or after windowStart.
+// bucket must be positive.
+func Analyze(events []trace.Event, windowStart, bucket time.Duration) (*Report, error) {
+	if bucket <= 0 {
+		return nil, fmt.Errorf("analysis: bucket %v", bucket)
+	}
+	r := &Report{
+		WindowStart:  windowStart,
+		Bucket:       bucket,
+		PerNodeSends: make(map[int]int),
+	}
+	var sendTimes, changeTimes []float64
+	lastChange := make(map[[2]int]time.Duration) // (node, dest) -> last change
+	for _, e := range events {
+		if e.At < windowStart {
+			continue
+		}
+		rel := e.At - windowStart
+		switch e.Kind {
+		case trace.KindSend:
+			r.TotalSends++
+			if e.Withdrawal {
+				r.TotalWithdrawals++
+			}
+			r.PerNodeSends[e.Node]++
+			sendTimes = append(sendTimes, rel.Seconds())
+		case trace.KindRouteChange:
+			r.TotalRouteChanges++
+			changeTimes = append(changeTimes, rel.Seconds())
+			lastChange[[2]int{e.Node, e.Dest}] = rel
+		}
+	}
+	var err error
+	if r.Sends, err = stats.NewSeries(bucket.Seconds(), sendTimes, nil); err != nil {
+		return nil, err
+	}
+	if r.RouteChanges, err = stats.NewSeries(bucket.Seconds(), changeTimes, nil); err != nil {
+		return nil, err
+	}
+	finals := make([]float64, 0, len(lastChange))
+	for _, at := range lastChange {
+		finals = append(finals, at.Seconds())
+	}
+	r.StabilizationCDF = stats.NewCDF(finals)
+	return r, nil
+}
+
+// StableAt returns the fraction of eventually-changing routes that had
+// already reached their final state t after the window start.
+func (r *Report) StableAt(t time.Duration) float64 {
+	return r.StabilizationCDF.At(t.Seconds())
+}
+
+// StabilizationQuantile returns the time by which fraction q of the
+// eventually-changing routes reached their final state.
+func (r *Report) StabilizationQuantile(q float64) time.Duration {
+	return time.Duration(r.StabilizationCDF.Quantile(q) * float64(time.Second))
+}
+
+// Hotspot is one node's share of the update load.
+type Hotspot struct {
+	Node  int
+	Sends int
+}
+
+// TopSenders returns the k busiest nodes, descending, ties by node id.
+func (r *Report) TopSenders(k int) []Hotspot {
+	hs := make([]Hotspot, 0, len(r.PerNodeSends))
+	for node, sends := range r.PerNodeSends {
+		hs = append(hs, Hotspot{Node: node, Sends: sends})
+	}
+	sort.Slice(hs, func(i, j int) bool {
+		if hs[i].Sends != hs[j].Sends {
+			return hs[i].Sends > hs[j].Sends
+		}
+		return hs[i].Node < hs[j].Node
+	})
+	if k > len(hs) {
+		k = len(hs)
+	}
+	return hs[:k]
+}
+
+// Render formats the report as a readable text block.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "window start      %v\n", r.WindowStart)
+	fmt.Fprintf(&b, "updates sent      %d (%d withdrawals)\n", r.TotalSends, r.TotalWithdrawals)
+	fmt.Fprintf(&b, "route changes     %d\n", r.TotalRouteChanges)
+	if r.StabilizationCDF.Len() > 0 {
+		fmt.Fprintf(&b, "routes stable     50%% by %v, 90%% by %v, 100%% by %v\n",
+			r.StabilizationQuantile(0.5).Round(time.Millisecond),
+			r.StabilizationQuantile(0.9).Round(time.Millisecond),
+			r.StabilizationQuantile(1.0).Round(time.Millisecond))
+	}
+	if top := r.TopSenders(5); len(top) > 0 {
+		b.WriteString("busiest senders  ")
+		for i, h := range top {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "node %d (%d)", h.Node, h.Sends)
+		}
+		b.WriteString("\n")
+	}
+	if len(r.Sends.Values) > 0 {
+		fmt.Fprintf(&b, "update activity per %v bucket:\n", r.Bucket)
+		b.WriteString(sparkline(r.Sends.Values))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// sparkline renders buckets as a crude bar chart, one row per bucket.
+func sparkline(values []float64) string {
+	peak := stats.Max(values)
+	if peak <= 0 {
+		return "(no activity)"
+	}
+	var b strings.Builder
+	const width = 50
+	for i, v := range values {
+		bars := int(v / peak * width)
+		fmt.Fprintf(&b, "  %4d | %s %.0f\n", i, strings.Repeat("#", bars), v)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"bgpsim/internal/trace"
+)
+
+func sampleEvents() []trace.Event {
+	sec := func(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+	return []trace.Event{
+		// Before the window: ignored.
+		{At: sec(1), Kind: trace.KindSend, Node: 0, Peer: 1, Dest: 5},
+		{At: sec(2), Kind: trace.KindRouteChange, Node: 0, Dest: 5, Value: 2},
+		// In window (starts at 10s).
+		{At: sec(10.5), Kind: trace.KindSend, Node: 1, Peer: 2, Dest: 5},
+		{At: sec(10.7), Kind: trace.KindSend, Node: 1, Peer: 0, Dest: 5, Withdrawal: true},
+		{At: sec(11.2), Kind: trace.KindRouteChange, Node: 1, Dest: 5, Value: 3},
+		{At: sec(12.8), Kind: trace.KindRouteChange, Node: 1, Dest: 5, Value: 2}, // same route changes again
+		{At: sec(11.0), Kind: trace.KindRouteChange, Node: 2, Dest: 5, Value: 4},
+		{At: sec(14.1), Kind: trace.KindSend, Node: 2, Peer: 1, Dest: 6},
+		{At: sec(14.2), Kind: trace.KindProcess, Node: 2, Value: 3}, // not counted in sends
+	}
+}
+
+func TestAnalyzeCountsAndWindows(t *testing.T) {
+	r, err := Analyze(sampleEvents(), 10*time.Second, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TotalSends != 3 {
+		t.Errorf("TotalSends = %d, want 3 (pre-window excluded)", r.TotalSends)
+	}
+	if r.TotalWithdrawals != 1 {
+		t.Errorf("TotalWithdrawals = %d", r.TotalWithdrawals)
+	}
+	if r.TotalRouteChanges != 3 {
+		t.Errorf("TotalRouteChanges = %d", r.TotalRouteChanges)
+	}
+	if r.PerNodeSends[1] != 2 || r.PerNodeSends[2] != 1 {
+		t.Errorf("PerNodeSends = %v", r.PerNodeSends)
+	}
+}
+
+func TestAnalyzeSeriesBuckets(t *testing.T) {
+	r, err := Analyze(sampleEvents(), 10*time.Second, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sends at rel 0.5, 0.7 (bucket 0) and 4.1 (bucket 4).
+	if r.Sends.Values[0] != 2 {
+		t.Errorf("send bucket 0 = %v", r.Sends.Values[0])
+	}
+	if len(r.Sends.Values) != 5 || r.Sends.Values[4] != 1 {
+		t.Errorf("send buckets = %v", r.Sends.Values)
+	}
+	if r.Sends.PeakIndex() != 0 {
+		t.Errorf("peak = %d", r.Sends.PeakIndex())
+	}
+}
+
+func TestStabilization(t *testing.T) {
+	r, err := Analyze(sampleEvents(), 10*time.Second, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two (node,dest) pairs change in-window: (1,5) last at rel 2.8s,
+	// (2,5) at rel 1.0s.
+	if got := r.StableAt(2 * time.Second); got != 0.5 {
+		t.Errorf("StableAt(2s) = %v, want 0.5", got)
+	}
+	if got := r.StableAt(3 * time.Second); got != 1 {
+		t.Errorf("StableAt(3s) = %v, want 1", got)
+	}
+	if got := r.StabilizationQuantile(1.0); got != 2800*time.Millisecond {
+		t.Errorf("100%% stable at %v, want 2.8s", got)
+	}
+}
+
+func TestTopSenders(t *testing.T) {
+	r, err := Analyze(sampleEvents(), 10*time.Second, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := r.TopSenders(10)
+	if len(top) != 2 {
+		t.Fatalf("top = %v", top)
+	}
+	if top[0].Node != 1 || top[0].Sends != 2 {
+		t.Errorf("top[0] = %+v", top[0])
+	}
+	if got := r.TopSenders(1); len(got) != 1 {
+		t.Errorf("TopSenders(1) = %v", got)
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	if _, err := Analyze(nil, 0, 0); err == nil {
+		t.Error("zero bucket accepted")
+	}
+}
+
+func TestAnalyzeEmptyWindow(t *testing.T) {
+	r, err := Analyze(sampleEvents(), time.Hour, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TotalSends != 0 || r.TotalRouteChanges != 0 {
+		t.Error("events counted past the horizon")
+	}
+	if r.StableAt(time.Second) != 0 {
+		t.Error("empty stabilization CDF nonzero")
+	}
+	out := r.Render()
+	if !strings.Contains(out, "updates sent      0") {
+		t.Errorf("render = %q", out)
+	}
+}
+
+func TestRenderContainsDigest(t *testing.T) {
+	r, err := Analyze(sampleEvents(), 10*time.Second, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.Render()
+	for _, want := range []string{"updates sent      3", "1 withdrawals", "route changes     3",
+		"routes stable", "busiest senders", "node 1 (2)", "update activity", "#"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSparklineNoActivity(t *testing.T) {
+	if got := sparkline([]float64{0, 0}); got != "(no activity)" {
+		t.Errorf("sparkline = %q", got)
+	}
+}

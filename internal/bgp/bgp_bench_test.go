@@ -1,0 +1,111 @@
+package bgp
+
+import (
+	"testing"
+	"time"
+
+	"bgpsim/internal/des"
+	"bgpsim/internal/mrai"
+	"bgpsim/internal/topology"
+)
+
+// benchNetwork builds one fixed 60-node topology for the simulator
+// micro-benchmarks.
+func benchNetwork(b *testing.B) *topology.Network {
+	b.Helper()
+	rng := des.NewRNG(1)
+	nw, err := topology.SkewedNetwork(topology.Skewed7030(60), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return nw
+}
+
+func benchFullRun(b *testing.B, mutate func(*Params)) {
+	nw := benchNetwork(b)
+	fail := topology.NearestNodes(nw, topology.GridCenter(nw), 6, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := DefaultParams()
+		p.MRAI = mrai.Constant(500 * time.Millisecond)
+		p.Seed = int64(i + 1)
+		if mutate != nil {
+			mutate(&p)
+		}
+		sim, err := New(nw, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.ConvergeAndFail(fail); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConvergeAndFailFIFO(b *testing.B) {
+	benchFullRun(b, nil)
+}
+
+func BenchmarkConvergeAndFailBatched(b *testing.B) {
+	benchFullRun(b, func(p *Params) { p.Queue = QueueBatched })
+}
+
+func BenchmarkConvergeAndFailDynamic(b *testing.B) {
+	benchFullRun(b, func(p *Params) { p.MRAI = mrai.PaperDynamic() })
+}
+
+func BenchmarkConvergeAndFailDamped(b *testing.B) {
+	benchFullRun(b, func(p *Params) { p.Damping = DefaultDamping() })
+}
+
+func BenchmarkDecisionProcess(b *testing.B) {
+	rib := newAdjRIBIn()
+	peers := make([]Peer, 8)
+	alive := make([]bool, 8)
+	for i := range peers {
+		peers[i] = Peer{Node: i, AS: 10 + i}
+		alive[i] = true
+		rib.set(99, i, Path{10 + i, 50, 99})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := decide(rib, 99, peers, alive, nil, nil, 0); !ok {
+			b.Fatal("no route")
+		}
+	}
+}
+
+func BenchmarkInboxFIFO(b *testing.B) {
+	q := &fifoInbox{}
+	u := ann(1, 100, 1, 2, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Push(u)
+		q.Pop()
+	}
+}
+
+func BenchmarkInboxBatched(b *testing.B) {
+	q := &batchInbox{byDest: make(map[ASN][]Update), discardStale: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Three updates for one destination, two from the same neighbor:
+		// exercises the staleness-discard path.
+		q.Push(ann(1, i%50, 1))
+		q.Push(ann(2, i%50, 2))
+		q.Push(ann(1, i%50, 3))
+		q.Pop()
+		q.TakeDiscarded()
+	}
+}
+
+func BenchmarkPathHelpers(b *testing.B) {
+	p := Path{4, 9, 23, 17, 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if pathContains(p, 99) {
+			b.Fatal("unexpected")
+		}
+		_ = prependPath(1, p)
+	}
+}

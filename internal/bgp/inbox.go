@@ -1,0 +1,200 @@
+package bgp
+
+// Inbox is a router's input queue of BGP updates. Pop returns the next
+// unit of work: a slice of updates the CPU processes together (length 1
+// under FIFO). Discarded counts updates deleted without processing (the
+// batching scheme's staleness elimination).
+type Inbox interface {
+	Push(u Update)
+	Pop() []Update
+	Len() int
+	Empty() bool
+	// TakeDiscarded returns and resets the count of updates deleted
+	// unprocessed since the last call.
+	TakeDiscarded() int
+}
+
+// newInbox builds the inbox for the configured queue discipline.
+func newInbox(p Params) Inbox {
+	switch p.Queue {
+	case QueueBatched:
+		return &batchInbox{
+			byDest:       make(map[ASN][]Update),
+			discardStale: p.BatchDiscardStale,
+		}
+	case QueueRouterBatch:
+		return &routerBatchInbox{byPeer: make(map[NodeID][]Update)}
+	default:
+		return &fifoInbox{}
+	}
+}
+
+// fifoInbox is default BGP: strict arrival order, one update at a time.
+// It is a growable ring buffer to keep Push/Pop O(1) without repeated
+// reallocation in the overload regime the experiments create.
+type fifoInbox struct {
+	buf        []Update
+	head, size int
+}
+
+var _ Inbox = (*fifoInbox)(nil)
+
+func (q *fifoInbox) Push(u Update) {
+	if q.size == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.size)%len(q.buf)] = u
+	q.size++
+}
+
+func (q *fifoInbox) grow() {
+	next := make([]Update, max(8, 2*len(q.buf)))
+	for i := 0; i < q.size; i++ {
+		next[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = next
+	q.head = 0
+}
+
+func (q *fifoInbox) Pop() []Update {
+	if q.size == 0 {
+		return nil
+	}
+	u := q.buf[q.head]
+	q.buf[q.head] = Update{}
+	q.head = (q.head + 1) % len(q.buf)
+	q.size--
+	return []Update{u}
+}
+
+func (q *fifoInbox) Len() int           { return q.size }
+func (q *fifoInbox) Empty() bool        { return q.size == 0 }
+func (q *fifoInbox) TakeDiscarded() int { return 0 }
+
+// batchInbox is the paper's destination-batched queue: one logical queue
+// per destination, served in order of each destination's earliest pending
+// update. With discardStale set, a new update from a neighbor deletes any
+// still-queued older update from the same neighbor for the same
+// destination ("the older updates are now invalid").
+type batchInbox struct {
+	order        []ASN // destinations with pending updates, FIFO by first arrival
+	byDest       map[ASN][]Update
+	size         int
+	discarded    int
+	discardStale bool
+}
+
+var _ Inbox = (*batchInbox)(nil)
+
+func (q *batchInbox) Push(u Update) {
+	list, pending := q.byDest[u.Dest]
+	if !pending {
+		q.order = append(q.order, u.Dest)
+	}
+	if q.discardStale {
+		for i := range list {
+			if list[i].From == u.From {
+				// Replace in place: the new update supersedes the old one
+				// and inherits its batch position.
+				list[i] = u
+				q.byDest[u.Dest] = list
+				q.discarded++
+				return
+			}
+		}
+	}
+	q.byDest[u.Dest] = append(list, u)
+	q.size++
+}
+
+func (q *batchInbox) Pop() []Update {
+	for len(q.order) > 0 {
+		dest := q.order[0]
+		q.order = q.order[1:]
+		list, ok := q.byDest[dest]
+		if !ok || len(list) == 0 {
+			continue
+		}
+		delete(q.byDest, dest)
+		q.size -= len(list)
+		return list
+	}
+	return nil
+}
+
+func (q *batchInbox) Len() int    { return q.size }
+func (q *batchInbox) Empty() bool { return q.size == 0 }
+
+func (q *batchInbox) TakeDiscarded() int {
+	d := q.discarded
+	q.discarded = 0
+	return d
+}
+
+// routerBatchInbox models production-router behaviour circa the paper:
+// the reader drains one TCP buffer per peer and the batch is processed
+// sequentially, with an update superseding an older same-destination
+// update only if both sit in the same per-peer batch.
+type routerBatchInbox struct {
+	peerOrder []NodeID // peers with pending updates, FIFO by first arrival
+	byPeer    map[NodeID][]Update
+	size      int
+	discarded int
+}
+
+var _ Inbox = (*routerBatchInbox)(nil)
+
+func (q *routerBatchInbox) Push(u Update) {
+	list, pending := q.byPeer[u.From]
+	if !pending {
+		q.peerOrder = append(q.peerOrder, u.From)
+	}
+	q.byPeer[u.From] = append(list, u)
+	q.size++
+}
+
+func (q *routerBatchInbox) Pop() []Update {
+	for len(q.peerOrder) > 0 {
+		peer := q.peerOrder[0]
+		q.peerOrder = q.peerOrder[1:]
+		list, ok := q.byPeer[peer]
+		if !ok || len(list) == 0 {
+			continue
+		}
+		delete(q.byPeer, peer)
+		q.size -= len(list)
+		// Within the batch only the newest update per destination counts;
+		// a BGP speaker applies them in order so older ones are dead work
+		// that the batch reader skips.
+		kept := list[:0]
+		lastFor := make(map[ASN]int, len(list))
+		for i, u := range list {
+			lastFor[u.Dest] = i
+		}
+		for i, u := range list {
+			if lastFor[u.Dest] == i {
+				kept = append(kept, u)
+			} else {
+				q.discarded++
+			}
+		}
+		return kept
+	}
+	return nil
+}
+
+func (q *routerBatchInbox) Len() int    { return q.size }
+func (q *routerBatchInbox) Empty() bool { return q.size == 0 }
+
+func (q *routerBatchInbox) TakeDiscarded() int {
+	d := q.discarded
+	q.discarded = 0
+	return d
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,255 @@
+package bgp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func ann(from NodeID, dest ASN, path ...ASN) Update {
+	if path == nil {
+		path = Path{}
+	}
+	return Update{From: from, Dest: dest, Path: path}
+}
+
+func wd(from NodeID, dest ASN) Update {
+	return Update{From: from, Dest: dest}
+}
+
+func TestFIFOOrdering(t *testing.T) {
+	q := &fifoInbox{}
+	for i := 0; i < 100; i++ {
+		q.Push(ann(i, i, 1))
+	}
+	if q.Len() != 100 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	for i := 0; i < 100; i++ {
+		batch := q.Pop()
+		if len(batch) != 1 {
+			t.Fatalf("FIFO pop returned %d updates", len(batch))
+		}
+		if batch[0].From != i {
+			t.Fatalf("pop %d returned update from %d", i, batch[0].From)
+		}
+	}
+	if !q.Empty() {
+		t.Error("not empty after draining")
+	}
+	if q.Pop() != nil {
+		t.Error("Pop on empty returned a batch")
+	}
+}
+
+func TestFIFORingBufferWrap(t *testing.T) {
+	q := &fifoInbox{}
+	// Interleave to force wraparound.
+	for round := 0; round < 50; round++ {
+		q.Push(ann(round, 1, 1))
+		q.Push(ann(round+1000, 1, 1))
+		got := q.Pop()
+		if got[0].From != expectedWrapFrom(round) {
+			t.Fatalf("round %d: got from %d", round, got[0].From)
+		}
+	}
+}
+
+// expectedWrapFrom mirrors the interleaving in TestFIFORingBufferWrap:
+// pushes go (0,1000),(1,1001),... and one pop per round, so pops see
+// 0,1000,1,1001,2,...
+func expectedWrapFrom(round int) int {
+	if round%2 == 0 {
+		return round / 2
+	}
+	return 1000 + round/2
+}
+
+func TestFIFONeverDiscards(t *testing.T) {
+	q := &fifoInbox{}
+	q.Push(ann(1, 7, 1))
+	q.Push(ann(1, 7, 2)) // same neighbor, same dest: FIFO keeps both
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", q.Len())
+	}
+	if q.TakeDiscarded() != 0 {
+		t.Error("FIFO reported discards")
+	}
+}
+
+func TestBatchGroupsByDestination(t *testing.T) {
+	q := &batchInbox{byDest: make(map[ASN][]Update), discardStale: true}
+	// The paper's example: X,Y,X,Y from distinct neighbors.
+	q.Push(ann(1, 100, 1)) // X
+	q.Push(ann(2, 200, 2)) // Y
+	q.Push(ann(3, 100, 3)) // X
+	q.Push(ann(4, 200, 4)) // Y
+	first := q.Pop()
+	if len(first) != 2 || first[0].Dest != 100 || first[1].Dest != 100 {
+		t.Fatalf("first batch = %+v, want both X updates", first)
+	}
+	second := q.Pop()
+	if len(second) != 2 || second[0].Dest != 200 {
+		t.Fatalf("second batch = %+v, want both Y updates", second)
+	}
+	if !q.Empty() {
+		t.Error("queue not drained")
+	}
+}
+
+func TestBatchDiscardsStaleSameNeighbor(t *testing.T) {
+	q := &batchInbox{byDest: make(map[ASN][]Update), discardStale: true}
+	q.Push(ann(1, 100, 9, 8))
+	q.Push(ann(2, 100, 5))
+	q.Push(ann(1, 100, 7)) // supersedes the first update from neighbor 1
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 after staleness discard", q.Len())
+	}
+	if q.TakeDiscarded() != 1 {
+		t.Error("discard not counted")
+	}
+	if q.TakeDiscarded() != 0 {
+		t.Error("TakeDiscarded did not reset")
+	}
+	batch := q.Pop()
+	if len(batch) != 2 {
+		t.Fatalf("batch size = %d", len(batch))
+	}
+	// Neighbor 1's surviving update must be the newest one, in the
+	// original (first-arrival) position.
+	if batch[0].From != 1 || len(batch[0].Path) != 1 || batch[0].Path[0] != 7 {
+		t.Errorf("neighbor 1 slot = %+v, want the newer path [7]", batch[0])
+	}
+	if batch[1].From != 2 {
+		t.Errorf("neighbor 2 update lost: %+v", batch[1])
+	}
+}
+
+func TestBatchWithdrawalSupersedesAnnouncement(t *testing.T) {
+	q := &batchInbox{byDest: make(map[ASN][]Update), discardStale: true}
+	q.Push(ann(1, 100, 3))
+	q.Push(wd(1, 100))
+	batch := q.Pop()
+	if len(batch) != 1 || !batch[0].IsWithdrawal() {
+		t.Fatalf("batch = %+v, want single withdrawal", batch)
+	}
+}
+
+func TestBatchNoDiscardKeepsEverything(t *testing.T) {
+	q := &batchInbox{byDest: make(map[ASN][]Update), discardStale: false}
+	q.Push(ann(1, 100, 1))
+	q.Push(ann(1, 100, 2))
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d; ablation queue must keep stale updates", q.Len())
+	}
+	batch := q.Pop()
+	if len(batch) != 2 {
+		t.Fatalf("batch = %d updates, want 2", len(batch))
+	}
+	if q.TakeDiscarded() != 0 {
+		t.Error("discards counted with discardStale off")
+	}
+}
+
+func TestBatchDestinationOrderIsFirstArrival(t *testing.T) {
+	q := &batchInbox{byDest: make(map[ASN][]Update), discardStale: true}
+	q.Push(ann(1, 300, 1))
+	q.Push(ann(1, 100, 1))
+	q.Push(ann(2, 300, 2))
+	if got := q.Pop(); got[0].Dest != 300 {
+		t.Fatalf("first batch dest = %d, want 300 (first arrival)", got[0].Dest)
+	}
+	if got := q.Pop(); got[0].Dest != 100 {
+		t.Fatalf("second batch dest = %d, want 100", got[0].Dest)
+	}
+}
+
+func TestRouterBatchDrainsOnePeer(t *testing.T) {
+	q := &routerBatchInbox{byPeer: make(map[NodeID][]Update)}
+	q.Push(ann(1, 100, 1))
+	q.Push(ann(2, 200, 2))
+	q.Push(ann(1, 300, 3))
+	batch := q.Pop()
+	if len(batch) != 2 || batch[0].From != 1 || batch[1].From != 1 {
+		t.Fatalf("batch = %+v, want both peer-1 updates", batch)
+	}
+	batch = q.Pop()
+	if len(batch) != 1 || batch[0].From != 2 {
+		t.Fatalf("batch = %+v, want peer-2 update", batch)
+	}
+}
+
+func TestRouterBatchDedupsWithinBatchOnly(t *testing.T) {
+	q := &routerBatchInbox{byPeer: make(map[NodeID][]Update)}
+	q.Push(ann(1, 100, 1))
+	q.Push(ann(1, 100, 2)) // same dest, same batch: older is dead work
+	q.Push(ann(1, 200, 3))
+	batch := q.Pop()
+	if len(batch) != 2 {
+		t.Fatalf("batch = %+v, want deduped to 2", batch)
+	}
+	if batch[0].Dest != 100 || batch[0].Path[0] != 2 {
+		t.Errorf("kept update = %+v, want the newer path", batch[0])
+	}
+	if q.TakeDiscarded() != 1 {
+		t.Error("discard not counted")
+	}
+	// Across batches there is no dedup: push again after drain.
+	q.Push(ann(1, 100, 4))
+	if got := q.Pop(); len(got) != 1 {
+		t.Fatalf("second batch = %+v", got)
+	}
+}
+
+func TestNewInboxSelectsDiscipline(t *testing.T) {
+	p := DefaultParams()
+	if _, ok := newInbox(p).(*fifoInbox); !ok {
+		t.Error("default discipline not FIFO")
+	}
+	p.Queue = QueueBatched
+	if _, ok := newInbox(p).(*batchInbox); !ok {
+		t.Error("batched discipline wrong type")
+	}
+	p.Queue = QueueRouterBatch
+	if _, ok := newInbox(p).(*routerBatchInbox); !ok {
+		t.Error("router-batch discipline wrong type")
+	}
+}
+
+// Property: for any push sequence, every inbox conserves updates —
+// popped + discarded == pushed — and Len always matches.
+func TestPropertyInboxConservation(t *testing.T) {
+	f := func(ops []uint8) bool {
+		for _, mk := range []func() Inbox{
+			func() Inbox { return &fifoInbox{} },
+			func() Inbox { return &batchInbox{byDest: make(map[ASN][]Update), discardStale: true} },
+			func() Inbox { return &routerBatchInbox{byPeer: make(map[NodeID][]Update)} },
+		} {
+			q := mk()
+			pushed, popped, discarded := 0, 0, 0
+			for _, op := range ops {
+				if op%3 == 0 && !q.Empty() {
+					popped += len(q.Pop())
+					discarded += q.TakeDiscarded()
+					continue
+				}
+				u := ann(int(op%5), ASN(op%7), 1)
+				if op%11 == 0 {
+					u = wd(int(op%5), ASN(op%7))
+				}
+				q.Push(u)
+				pushed++
+			}
+			for !q.Empty() {
+				popped += len(q.Pop())
+				discarded += q.TakeDiscarded()
+			}
+			if pushed != popped+discarded {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

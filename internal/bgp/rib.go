@@ -1,0 +1,167 @@
+package bgp
+
+import (
+	"sort"
+
+	"bgpsim/internal/topology"
+)
+
+// locEntry is a Loc-RIB entry: the decision-process winner for one
+// destination. Paths are immutable once created; entries share path
+// slices with Adj-RIB-In and in-flight updates.
+type locEntry struct {
+	path         Path
+	from         NodeID // advertising peer; -1 for a locally originated route
+	fromInternal bool
+}
+
+// selfRoute is the Loc-RIB entry for a locally originated prefix.
+func selfRoute() locEntry {
+	return locEntry{path: Path{}, from: -1}
+}
+
+// isSelf reports whether the entry is locally originated.
+func (e locEntry) isSelf() bool { return e.from == -1 }
+
+// sameAs reports whether two entries would produce identical
+// advertisements and bookkeeping.
+func (e locEntry) sameAs(o locEntry) bool {
+	return e.from == o.from && e.fromInternal == o.fromInternal && pathsEqual(e.path, o.path)
+}
+
+// adjRIBIn stores, per destination, the latest valid path heard from each
+// peer. Paths containing the local AS are rejected at insertion (receiver-
+// side loop detection), so stored paths are always loop-free here.
+type adjRIBIn struct {
+	byDest map[ASN]map[NodeID]Path
+}
+
+func newAdjRIBIn() *adjRIBIn {
+	return &adjRIBIn{byDest: make(map[ASN]map[NodeID]Path)}
+}
+
+// set records path as the latest route for dest from peer node.
+func (rib *adjRIBIn) set(dest ASN, from NodeID, path Path) {
+	m, ok := rib.byDest[dest]
+	if !ok {
+		m = make(map[NodeID]Path)
+		rib.byDest[dest] = m
+	}
+	m[from] = path
+}
+
+// remove deletes the route for dest from peer node, reporting whether one
+// existed.
+func (rib *adjRIBIn) remove(dest ASN, from NodeID) bool {
+	m, ok := rib.byDest[dest]
+	if !ok {
+		return false
+	}
+	if _, had := m[from]; !had {
+		return false
+	}
+	delete(m, from)
+	if len(m) == 0 {
+		delete(rib.byDest, dest)
+	}
+	return true
+}
+
+// get returns the stored path for (dest, from).
+func (rib *adjRIBIn) get(dest ASN, from NodeID) (Path, bool) {
+	m, ok := rib.byDest[dest]
+	if !ok {
+		return nil, false
+	}
+	p, ok := m[from]
+	return p, ok
+}
+
+// destsVia returns the sorted destinations with a route from peer node.
+func (rib *adjRIBIn) destsVia(from NodeID) []ASN {
+	var out []ASN
+	for dest, m := range rib.byDest {
+		if _, ok := m[from]; ok {
+			out = append(out, dest)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// decide runs the decision process for dest over the candidate routes in
+// the Adj-RIB-In: shortest AS path wins; ties break EBGP-over-IBGP, then
+// lowest peer AS, then lowest peer node ID. Peers are scanned in slot
+// order so the result is deterministic. The second return is false when
+// no route exists.
+//
+// The paper's simulations select routes on path length alone with no
+// policy; the deterministic tie-break stands in for SSFNet's router-ID
+// tie-break.
+// When rel is non-nil (Gao–Rexford policy mode), routes are ranked by
+// relationship class first — customer-learned over peer-learned over
+// provider-learned, the standard local-pref assignment — before path
+// length. self is the deciding router's node id.
+func decide(rib *adjRIBIn, dest ASN, peers []Peer, peerAlive []bool, damp *damper,
+	rel *topology.Relationships, self NodeID) (locEntry, bool) {
+	m, ok := rib.byDest[dest]
+	if !ok || len(m) == 0 {
+		return locEntry{}, false
+	}
+	best := locEntry{}
+	bestPeer := Peer{}
+	bestClass := 0
+	found := false
+	for slot, peer := range peers {
+		if peerAlive != nil && !peerAlive[slot] {
+			continue
+		}
+		path, ok := m[peer.Node]
+		if !ok {
+			continue
+		}
+		if damp != nil && damp.isSuppressed(dest, peer.Node) {
+			continue
+		}
+		cand := locEntry{path: path, from: peer.Node, fromInternal: peer.Internal}
+		class := routeClass(rel, self, peer)
+		if !found || betterRoute(cand, peer, class, best, bestPeer, bestClass) {
+			best, bestPeer, bestClass, found = cand, peer, class, true
+		}
+	}
+	return best, found
+}
+
+// routeClass ranks a route by the relationship it was learned over:
+// 0 customer (or internal / no policy), 1 peer, 2 provider. Lower wins.
+func routeClass(rel *topology.Relationships, self NodeID, peer Peer) int {
+	if rel == nil || peer.Internal {
+		return 0
+	}
+	switch rel.Of(self, peer.Node) {
+	case topology.RelPeer:
+		return 1
+	case topology.RelProvider:
+		return 2
+	default: // customer or unknown
+		return 0
+	}
+}
+
+// betterRoute reports whether candidate a (via peer pa, class ca) beats
+// b (via pb, class cb).
+func betterRoute(a locEntry, pa Peer, ca int, b locEntry, pb Peer, cb int) bool {
+	if ca != cb {
+		return ca < cb // local-pref: customer > peer > provider
+	}
+	if len(a.path) != len(b.path) {
+		return len(a.path) < len(b.path)
+	}
+	if a.fromInternal != b.fromInternal {
+		return !a.fromInternal // EBGP preferred over IBGP
+	}
+	if pa.AS != pb.AS {
+		return pa.AS < pb.AS
+	}
+	return pa.Node < pb.Node
+}

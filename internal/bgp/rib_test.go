@@ -1,0 +1,179 @@
+package bgp
+
+import (
+	"testing"
+)
+
+func TestPathHelpers(t *testing.T) {
+	if !pathContains(Path{1, 2, 3}, 2) || pathContains(Path{1, 2, 3}, 4) {
+		t.Error("pathContains wrong")
+	}
+	if !pathsEqual(Path{1, 2}, Path{1, 2}) {
+		t.Error("equal paths not equal")
+	}
+	if pathsEqual(Path{1}, Path{1, 2}) || pathsEqual(Path{1}, Path{2}) {
+		t.Error("different paths equal")
+	}
+	if pathsEqual(nil, Path{}) {
+		t.Error("nil must differ from empty (withdrawal vs intra-AS route)")
+	}
+	if !pathsEqual(nil, nil) || !pathsEqual(Path{}, Path{}) {
+		t.Error("identity cases failed")
+	}
+	p := Path{1, 2}
+	c := clonePath(p)
+	c[0] = 9
+	if p[0] != 1 {
+		t.Error("clonePath aliases")
+	}
+	if clonePath(nil) != nil {
+		t.Error("clonePath(nil) != nil")
+	}
+	pre := prependPath(5, p)
+	if len(pre) != 3 || pre[0] != 5 || pre[1] != 1 {
+		t.Errorf("prependPath = %v", pre)
+	}
+	if p[0] != 1 {
+		t.Error("prependPath mutated input")
+	}
+}
+
+func TestUpdateIsWithdrawal(t *testing.T) {
+	if !(Update{From: 1, Dest: 2}).IsWithdrawal() {
+		t.Error("nil path not a withdrawal")
+	}
+	if (Update{From: 1, Dest: 2, Path: Path{}}).IsWithdrawal() {
+		t.Error("empty path treated as withdrawal")
+	}
+}
+
+func TestAdjRIBInSetGetRemove(t *testing.T) {
+	rib := newAdjRIBIn()
+	if _, ok := rib.get(1, 2); ok {
+		t.Error("empty RIB returned a route")
+	}
+	rib.set(1, 2, Path{7})
+	if p, ok := rib.get(1, 2); !ok || p[0] != 7 {
+		t.Error("get after set failed")
+	}
+	rib.set(1, 2, Path{8, 9})
+	if p, _ := rib.get(1, 2); len(p) != 2 {
+		t.Error("set did not replace")
+	}
+	if !rib.remove(1, 2) {
+		t.Error("remove returned false")
+	}
+	if rib.remove(1, 2) {
+		t.Error("double remove returned true")
+	}
+	if _, ok := rib.byDest[1]; ok {
+		t.Error("empty destination map not cleaned up")
+	}
+}
+
+func TestAdjRIBInDestsVia(t *testing.T) {
+	rib := newAdjRIBIn()
+	rib.set(30, 5, Path{1})
+	rib.set(10, 5, Path{1})
+	rib.set(20, 6, Path{2})
+	got := rib.destsVia(5)
+	if len(got) != 2 || got[0] != 10 || got[1] != 30 {
+		t.Errorf("destsVia = %v, want [10 30] sorted", got)
+	}
+	if len(rib.destsVia(99)) != 0 {
+		t.Error("destsVia of unknown peer non-empty")
+	}
+}
+
+func testPeers() []Peer {
+	return []Peer{
+		{Node: 1, AS: 10, Internal: false},
+		{Node: 2, AS: 20, Internal: false},
+		{Node: 3, AS: 5, Internal: true},
+	}
+}
+
+func TestDecideShortestPathWins(t *testing.T) {
+	rib := newAdjRIBIn()
+	rib.set(99, 1, Path{10, 40, 99})
+	rib.set(99, 2, Path{20, 99})
+	e, ok := decide(rib, 99, testPeers(), nil, nil, nil, 0)
+	if !ok {
+		t.Fatal("no route")
+	}
+	if e.from != 2 {
+		t.Errorf("winner from %d, want 2 (shorter path)", e.from)
+	}
+}
+
+func TestDecideEBGPBeatsIBGPAtEqualLength(t *testing.T) {
+	rib := newAdjRIBIn()
+	rib.set(99, 3, Path{20, 99}) // internal peer
+	rib.set(99, 2, Path{20, 99}) // external peer, same length
+	e, ok := decide(rib, 99, testPeers(), nil, nil, nil, 0)
+	if !ok || e.from != 2 {
+		t.Errorf("winner from %d, want external peer 2", e.from)
+	}
+	if e.fromInternal {
+		t.Error("winner marked internal")
+	}
+}
+
+func TestDecideTieBreaksLowestPeerAS(t *testing.T) {
+	rib := newAdjRIBIn()
+	rib.set(99, 1, Path{10, 99})
+	rib.set(99, 2, Path{20, 99})
+	e, ok := decide(rib, 99, testPeers(), nil, nil, nil, 0)
+	if !ok || e.from != 1 {
+		t.Errorf("winner from %d, want peer 1 (AS 10 < AS 20)", e.from)
+	}
+}
+
+func TestDecideSkipsDeadPeers(t *testing.T) {
+	rib := newAdjRIBIn()
+	rib.set(99, 1, Path{10, 99})
+	rib.set(99, 2, Path{20, 30, 99})
+	alive := []bool{false, true, true}
+	e, ok := decide(rib, 99, testPeers(), alive, nil, nil, 0)
+	if !ok || e.from != 2 {
+		t.Errorf("winner from %d, want 2 (peer 1 dead)", e.from)
+	}
+}
+
+func TestDecideNoRoutes(t *testing.T) {
+	rib := newAdjRIBIn()
+	if _, ok := decide(rib, 99, testPeers(), nil, nil, nil, 0); ok {
+		t.Error("decision on empty RIB returned a route")
+	}
+	rib.set(99, 1, Path{10, 99})
+	alive := []bool{false, false, false}
+	if _, ok := decide(rib, 99, testPeers(), alive, nil, nil, 0); ok {
+		t.Error("decision with all peers dead returned a route")
+	}
+}
+
+func TestLocEntrySameAs(t *testing.T) {
+	a := locEntry{path: Path{1, 2}, from: 5}
+	b := locEntry{path: Path{1, 2}, from: 5}
+	if !a.sameAs(b) {
+		t.Error("identical entries differ")
+	}
+	b.from = 6
+	if a.sameAs(b) {
+		t.Error("different from considered same")
+	}
+	c := locEntry{path: Path{1, 3}, from: 5}
+	if a.sameAs(c) {
+		t.Error("different path considered same")
+	}
+}
+
+func TestSelfRoute(t *testing.T) {
+	e := selfRoute()
+	if !e.isSelf() {
+		t.Error("selfRoute not self")
+	}
+	if e.path == nil || len(e.path) != 0 {
+		t.Error("self route path must be empty, not nil")
+	}
+}

@@ -1,0 +1,604 @@
+package bgp
+
+import (
+	"sort"
+	"time"
+
+	"bgpsim/internal/des"
+	"bgpsim/internal/mrai"
+	"bgpsim/internal/topology"
+	"bgpsim/internal/trace"
+)
+
+// router is one BGP speaker: RIBs, per-peer MRAI timers, a serial CPU fed
+// by the configured input queue, and the advertisement bookkeeping that
+// suppresses no-op updates.
+type router struct {
+	id    NodeID
+	as    ASN
+	alive bool
+	sim   *Simulator
+
+	peers     []Peer
+	peerAlive []bool
+	slotOf    map[NodeID]int
+
+	adjIn      *adjRIBIn
+	loc        map[ASN]locEntry
+	originates map[ASN]bool
+
+	// Per-slot advertisement state.
+	advertised []map[ASN]Path     // last announcement per destination (absent = withdrawn/never)
+	pending    []map[ASN]struct{} // destinations needing re-advertisement
+	nextSend   []des.Time         // per-peer MRAI gate: announcements allowed at/after this time
+	destGate   []map[ASN]des.Time // per-destination gates (PerDestinationMRAI ablation)
+	flushEv    []*des.Event       // scheduled deferred flush per slot
+
+	inbox Inbox
+	busy  bool
+
+	policy mrai.Policy
+
+	// Load accounting for mrai.Snapshot.
+	busyAccum     time.Duration
+	busyStart     des.Time
+	lastSnapTime  des.Time
+	lastSnapBusy  time.Duration
+	msgsSinceSnap int
+
+	// flapCount drives the Deshpande–Sikdar flap gate.
+	flapCount map[ASN]int
+
+	// damper holds RFC 2439 flap-damping state (nil when disabled).
+	damper *damper
+}
+
+func newRouter(id NodeID, as ASN, peers []Peer, p Params, factory mrai.Factory, sim *Simulator) *router {
+	r := &router{
+		id:         id,
+		as:         as,
+		alive:      true,
+		sim:        sim,
+		peers:      peers,
+		peerAlive:  make([]bool, len(peers)),
+		slotOf:     make(map[NodeID]int, len(peers)),
+		adjIn:      newAdjRIBIn(),
+		loc:        make(map[ASN]locEntry),
+		originates: make(map[ASN]bool),
+		advertised: make([]map[ASN]Path, len(peers)),
+		pending:    make([]map[ASN]struct{}, len(peers)),
+		nextSend:   make([]des.Time, len(peers)),
+		flushEv:    make([]*des.Event, len(peers)),
+		inbox:      newInbox(p),
+		policy:     factory(len(peers)),
+		flapCount:  make(map[ASN]int),
+	}
+	for slot, peer := range peers {
+		r.peerAlive[slot] = true
+		r.slotOf[peer.Node] = slot
+		r.advertised[slot] = make(map[ASN]Path)
+		r.pending[slot] = make(map[ASN]struct{})
+	}
+	if p.PerDestinationMRAI {
+		r.destGate = make([]map[ASN]des.Time, len(peers))
+		for slot := range peers {
+			r.destGate[slot] = make(map[ASN]des.Time)
+		}
+	}
+	if p.Damping != nil {
+		r.damper = newDamper(p.Damping)
+	}
+	return r
+}
+
+// originate installs a locally originated prefix and advertises it.
+func (r *router) originate(dest ASN) {
+	r.originates[dest] = true
+	r.loc[dest] = selfRoute()
+	r.markPendingAll(dest)
+	r.flushAll()
+}
+
+// --- receive path -----------------------------------------------------
+
+// enqueue accepts an arriving update and starts the CPU if idle.
+func (r *router) enqueue(u Update) {
+	if !r.alive {
+		return
+	}
+	r.inbox.Push(u)
+	r.msgsSinceSnap++
+	r.sim.col.NoteQueueLen(r.inbox.Len())
+	r.sim.emit(trace.Event{
+		At: r.sim.eng.Now(), Kind: trace.KindReceive, Node: r.id,
+		Peer: u.From, Dest: u.Dest, Withdrawal: u.IsWithdrawal(),
+	})
+	if !r.busy {
+		r.startProcessing()
+	}
+}
+
+// startProcessing pops the next work unit and schedules its completion
+// after the drawn processing delay (one draw per update in the unit).
+// With SkipNoopUpdates, superfluous updates (no change relative to the
+// Adj-RIB-In) are dropped at zero cost and the next unit is tried.
+func (r *router) startProcessing() {
+	for {
+		batch := r.inbox.Pop()
+		if len(batch) == 0 {
+			return
+		}
+		discarded := r.inbox.TakeDiscarded()
+		if r.sim.params.SkipNoopUpdates {
+			kept := batch[:0]
+			for _, u := range batch {
+				stored, has := r.adjIn.get(u.Dest, u.From)
+				noop := u.IsWithdrawal() && !has || !u.IsWithdrawal() && has && pathsEqual(stored, u.Path)
+				if noop {
+					discarded++
+					continue
+				}
+				kept = append(kept, u)
+			}
+			batch = kept
+		}
+		if discarded > 0 {
+			r.sim.col.NoteDiscarded(discarded)
+		}
+		if len(batch) == 0 {
+			continue
+		}
+		var delay time.Duration
+		for range batch {
+			delay += r.sim.rng.UniformDuration(r.sim.params.ProcMin, r.sim.params.ProcMax)
+		}
+		r.busy = true
+		r.busyStart = r.sim.eng.Now()
+		r.sim.eng.Schedule(delay, func() { r.finishProcessing(batch) })
+		return
+	}
+}
+
+// finishProcessing applies a processed work unit: Adj-RIB-In updates for
+// every message, then one decision-process pass per touched destination
+// (the batching scheme's "process all updates for a destination
+// together"), then advertisement flushing.
+func (r *router) finishProcessing(batch []Update) {
+	if !r.alive {
+		return
+	}
+	now := r.sim.eng.Now()
+	r.busyAccum += now - r.busyStart
+	r.busy = false
+	r.sim.col.NoteProcessed(now, len(batch))
+	r.sim.emit(trace.Event{
+		At: now, Kind: trace.KindProcess, Node: r.id,
+		Peer: -1, Dest: -1, Value: len(batch),
+	})
+
+	touched := make(map[ASN]struct{}, len(batch))
+	for _, u := range batch {
+		// Drop updates from peers that died while the message was queued.
+		slot, ok := r.slotOf[u.From]
+		if !ok || !r.peerAlive[slot] {
+			continue
+		}
+		// Flap accounting per RFC 2439: withdrawals and re-advertisements
+		// of an existing route are penalized; a peer's first announcement
+		// of a destination is not.
+		flapped := false
+		if u.IsWithdrawal() || pathContains(u.Path, r.as) {
+			// Receiver-side loop detection treats a looped path as an
+			// implicit withdrawal of the peer's previous route.
+			flapped = r.adjIn.remove(u.Dest, u.From)
+		} else {
+			prev, had := r.adjIn.get(u.Dest, u.From)
+			flapped = had && !pathsEqual(prev, u.Path)
+			r.adjIn.set(u.Dest, u.From, u.Path)
+		}
+		if flapped && r.damper != nil {
+			r.penalize(u.Dest, u.From)
+		}
+		touched[u.Dest] = struct{}{}
+	}
+
+	changed := make([]ASN, 0, len(touched))
+	for dest := range touched {
+		changed = append(changed, dest)
+	}
+	sort.Ints(changed)
+	anyChanged := false
+	for _, dest := range changed {
+		if r.runDecision(dest) {
+			r.markPendingAll(dest)
+			anyChanged = true
+		}
+	}
+	if anyChanged {
+		r.flushAll()
+	}
+	if !r.inbox.Empty() {
+		r.startProcessing()
+	}
+}
+
+// runDecision recomputes the best route for dest. It returns true when
+// the Loc-RIB entry changed in any way that affects advertisements.
+func (r *router) runDecision(dest ASN) bool {
+	old, hadOld := r.loc[dest]
+	if hadOld && old.isSelf() {
+		return false // locally originated routes are never displaced
+	}
+	best, ok := decide(r.adjIn, dest, r.peers, r.peerAlive, r.damper, r.sim.params.Policy, r.id)
+	switch {
+	case !ok && !hadOld:
+		return false
+	case !ok:
+		delete(r.loc, dest)
+	case hadOld && best.sameAs(old):
+		return false
+	default:
+		r.loc[dest] = best
+	}
+	pathChanged := !hadOld || !ok || !pathsEqual(old.path, best.path)
+	if pathChanged {
+		r.flapCount[dest]++
+		r.sim.col.NoteRouteChange(r.sim.eng.Now())
+		pathLen := -1
+		if ok {
+			pathLen = len(best.path)
+		}
+		r.sim.emit(trace.Event{
+			At: r.sim.eng.Now(), Kind: trace.KindRouteChange, Node: r.id,
+			Peer: -1, Dest: dest, Value: pathLen,
+		})
+	}
+	return true
+}
+
+// --- send path --------------------------------------------------------
+
+// markPendingAll queues dest for re-advertisement to every live peer and
+// applies the Deshpande–Sikdar timer cancellation when configured.
+func (r *router) markPendingAll(dest ASN) {
+	now := r.sim.eng.Now()
+	_, valid := r.loc[dest]
+	for slot := range r.peers {
+		if !r.peerAlive[slot] {
+			continue
+		}
+		r.pending[slot][dest] = struct{}{}
+		if r.sim.params.CancelOnChange && valid && r.nextSend[slot] > now {
+			r.nextSend[slot] = now
+		}
+	}
+}
+
+// flushAll attempts an advertisement flush on every live slot.
+func (r *router) flushAll() {
+	for slot := range r.peers {
+		r.tryFlush(slot)
+	}
+}
+
+// tryFlush sends what the slot's timers currently allow: withdrawals
+// immediately (unless RateLimitWithdrawals), announcements when the
+// per-peer (or per-destination) MRAI gate is open. When announcements are
+// sent the gate rearms with the policy's current MRAI, jittered per
+// RFC 1771. Blocked announcements get a deferred flush event.
+func (r *router) tryFlush(slot int) {
+	if !r.alive || !r.peerAlive[slot] {
+		return
+	}
+	pend := r.pending[slot]
+	if len(pend) == 0 {
+		return
+	}
+	now := r.sim.eng.Now()
+	dests := make([]ASN, 0, len(pend))
+	for dest := range pend {
+		dests = append(dests, dest)
+	}
+	sort.Ints(dests)
+
+	peerAllowed := now >= r.nextSend[slot]
+	sentGated := false // a gated announcement went out -> rearm timer
+	sentAny := false
+	var minBlocked des.Time = -1
+	noteBlocked := func(at des.Time) {
+		if minBlocked < 0 || at < minBlocked {
+			minBlocked = at
+		}
+	}
+
+	for _, dest := range dests {
+		desired := r.desiredAdvert(dest, slot)
+		last, hadLast := r.advertised[slot][dest]
+		if pathsEqual(desired, last) && (desired != nil || !hadLast) {
+			delete(pend, dest)
+			continue
+		}
+		if desired == nil {
+			// Withdrawal.
+			if r.sim.params.RateLimitWithdrawals && !r.destAllowed(slot, dest, peerAllowed) {
+				noteBlocked(r.gateTime(slot, dest))
+				continue
+			}
+			r.send(slot, Update{From: r.id, Dest: dest, Path: nil})
+			delete(r.advertised[slot], dest)
+			delete(pend, dest)
+			sentAny = true
+			if r.sim.params.RateLimitWithdrawals {
+				sentGated = true
+				if r.destGate != nil {
+					r.destGate[slot][dest] = now + r.nextMRAI(now)
+				}
+			}
+			continue
+		}
+		// Announcement.
+		bypass := r.sim.params.FlapGate > 0 && r.flapCount[dest] < r.sim.params.FlapGate
+		if !bypass && !r.destAllowed(slot, dest, peerAllowed) {
+			noteBlocked(r.gateTime(slot, dest))
+			continue
+		}
+		r.send(slot, Update{From: r.id, Dest: dest, Path: desired})
+		r.advertised[slot][dest] = desired
+		delete(pend, dest)
+		sentAny = true
+		if !bypass {
+			sentGated = true
+			if r.destGate != nil {
+				r.destGate[slot][dest] = now + r.nextMRAI(now)
+			}
+		}
+	}
+
+	if sentGated && r.destGate == nil {
+		r.nextSend[slot] = now + r.nextMRAI(now)
+	}
+	if sentAny {
+		r.sim.col.NotePacket(now)
+	}
+	if len(pend) > 0 {
+		if r.destGate == nil {
+			minBlocked = r.nextSend[slot]
+		}
+		r.scheduleFlush(slot, minBlocked)
+	}
+}
+
+// destAllowed reports whether the announcement gate for (slot, dest) is
+// open. peerAllowed is the precomputed per-peer answer.
+func (r *router) destAllowed(slot int, dest ASN, peerAllowed bool) bool {
+	if r.destGate == nil {
+		return peerAllowed
+	}
+	return r.sim.eng.Now() >= r.destGate[slot][dest]
+}
+
+// gateTime returns when the announcement gate for (slot, dest) opens.
+func (r *router) gateTime(slot int, dest ASN) des.Time {
+	if r.destGate == nil {
+		return r.nextSend[slot]
+	}
+	return r.destGate[slot][dest]
+}
+
+// nextMRAI consults the policy with a fresh load snapshot and applies
+// RFC 1771 jitter. Per the paper, the policy (and any dynamic level
+// change) takes effect only here, at timer restart.
+func (r *router) nextMRAI(now des.Time) time.Duration {
+	m := r.policy.MRAI(r.snapshot(now))
+	r.sim.emit(trace.Event{
+		At: now, Kind: trace.KindTimerRestart, Node: r.id,
+		Peer: -1, Dest: -1, Value: int(m),
+	})
+	if r.sim.params.JitterTimers {
+		return r.sim.rng.Jitter(m)
+	}
+	return m
+}
+
+// scheduleFlush arms (or re-arms earlier) the deferred flush for slot.
+func (r *router) scheduleFlush(slot int, at des.Time) {
+	if at < 0 {
+		return
+	}
+	now := r.sim.eng.Now()
+	if at < now {
+		at = now
+	}
+	if ev := r.flushEv[slot]; ev != nil && !ev.Canceled() {
+		if ev.At() <= at {
+			return
+		}
+		r.sim.eng.Cancel(ev)
+	}
+	r.flushEv[slot] = r.sim.eng.ScheduleAt(at, func() {
+		r.flushEv[slot] = nil
+		r.tryFlush(slot)
+	})
+}
+
+// send transmits one route-level update to the slot's peer.
+func (r *router) send(slot int, u Update) {
+	peer := r.peers[slot]
+	now := r.sim.eng.Now()
+	r.sim.col.NoteSend(now, r.id, u.IsWithdrawal())
+	r.sim.emit(trace.Event{
+		At: now, Kind: trace.KindSend, Node: r.id,
+		Peer: peer.Node, Dest: u.Dest, Withdrawal: u.IsWithdrawal(),
+	})
+	target := r.sim.routers[peer.Node]
+	r.sim.eng.Schedule(peer.Delay, func() {
+		// The link is down if either endpoint died while in flight.
+		if !r.alive || !target.alive {
+			return
+		}
+		target.enqueue(u)
+	})
+}
+
+// desiredAdvert computes what the router should currently advertise to
+// the slot's peer for dest: the announcement path, or nil meaning
+// "nothing" (which materializes as a withdrawal if something was
+// previously advertised). The rules:
+//
+//   - no valid route -> nil;
+//   - never back to the peer the best route came from (split horizon /
+//     sender-side loop detection);
+//   - IBGP-learned routes are not relayed to IBGP peers;
+//   - to an internal peer the path is passed unchanged;
+//   - to an external peer the local AS is prepended, and the route is
+//     suppressed if the peer's AS already appears on the path.
+func (r *router) desiredAdvert(dest ASN, slot int) Path {
+	e, ok := r.loc[dest]
+	if !ok {
+		return nil
+	}
+	peer := r.peers[slot]
+	if e.from == peer.Node {
+		return nil
+	}
+	if e.fromInternal && peer.Internal {
+		return nil
+	}
+	if rel := r.sim.params.Policy; rel != nil && !peer.Internal && !e.isSelf() {
+		// Gao–Rexford export rule: self-originated and customer-learned
+		// routes are exported to everyone; peer- and provider-learned
+		// routes only to customers.
+		fromCustomer := routeClass(rel, r.id, r.peers[r.slotOf[e.from]]) == 0
+		toCustomer := rel.Of(r.id, peer.Node) == topology.RelCustomer || rel.Of(r.id, peer.Node) == topology.RelNone
+		if !fromCustomer && !toCustomer {
+			return nil
+		}
+	}
+	if peer.Internal {
+		return e.path
+	}
+	if peer.AS == r.as {
+		// Defensive: external peers always have a different AS.
+		return nil
+	}
+	if pathContains(e.path, peer.AS) {
+		return nil
+	}
+	return prependPath(r.as, e.path)
+}
+
+// --- failure handling ---------------------------------------------------
+
+// kill removes the router from the simulation: it stops processing,
+// sending, and receiving. Pending events guard on alive.
+func (r *router) kill() {
+	r.alive = false
+	for slot, ev := range r.flushEv {
+		r.sim.eng.Cancel(ev)
+		r.flushEv[slot] = nil
+	}
+}
+
+// revive restores a killed router to its boot state: empty RIBs, fresh
+// queue and timers, all sessions down until peerUp re-establishes them.
+func (r *router) revive() {
+	r.alive = true
+	r.busy = false
+	r.adjIn = newAdjRIBIn()
+	r.loc = make(map[ASN]locEntry)
+	r.originates = make(map[ASN]bool)
+	r.inbox = newInbox(r.sim.params)
+	r.policy = r.sim.params.MRAI(len(r.peers))
+	r.flapCount = make(map[ASN]int)
+	if r.sim.params.Damping != nil {
+		r.damper = newDamper(r.sim.params.Damping)
+	}
+	r.busyAccum, r.lastSnapBusy = 0, 0
+	r.busyStart, r.lastSnapTime = r.sim.eng.Now(), r.sim.eng.Now()
+	r.msgsSinceSnap = 0
+	for slot := range r.peers {
+		r.peerAlive[slot] = false
+		r.advertised[slot] = make(map[ASN]Path)
+		r.pending[slot] = make(map[ASN]struct{})
+		r.nextSend[slot] = 0
+		r.sim.eng.Cancel(r.flushEv[slot])
+		r.flushEv[slot] = nil
+		if r.destGate != nil {
+			r.destGate[slot] = make(map[ASN]des.Time)
+		}
+	}
+}
+
+// peerUp (re-)establishes the session on slot and queues the full table
+// for advertisement to the peer — BGP's initial route exchange.
+func (r *router) peerUp(slot int) {
+	if !r.alive || r.peerAlive[slot] {
+		return
+	}
+	r.peerAlive[slot] = true
+	r.advertised[slot] = make(map[ASN]Path)
+	r.nextSend[slot] = 0
+	for dest := range r.loc {
+		r.pending[slot][dest] = struct{}{}
+	}
+	r.tryFlush(slot)
+}
+
+// peerDown handles loss of the session on slot: every route learned from
+// that peer is invalidated, decisions rerun, and resulting updates and
+// withdrawals propagate to the surviving peers.
+func (r *router) peerDown(slot int) {
+	if !r.alive || !r.peerAlive[slot] {
+		return
+	}
+	peer := r.peers[slot]
+	r.peerAlive[slot] = false
+	r.sim.emit(trace.Event{
+		At: r.sim.eng.Now(), Kind: trace.KindSessionDown, Node: r.id,
+		Peer: peer.Node, Dest: -1,
+	})
+	r.pending[slot] = make(map[ASN]struct{})
+	r.advertised[slot] = make(map[ASN]Path)
+	r.sim.eng.Cancel(r.flushEv[slot])
+	r.flushEv[slot] = nil
+
+	affected := r.adjIn.destsVia(peer.Node)
+	anyChanged := false
+	for _, dest := range affected {
+		r.adjIn.remove(dest, peer.Node)
+		if r.runDecision(dest) {
+			r.markPendingAll(dest)
+			anyChanged = true
+		}
+	}
+	if anyChanged {
+		r.flushAll()
+	}
+}
+
+// snapshot builds the mrai.Snapshot for a timer restart and rolls the
+// per-window accounting forward.
+func (r *router) snapshot(now des.Time) mrai.Snapshot {
+	busy := r.busyAccum
+	if r.busy {
+		busy += now - r.busyStart
+	}
+	elapsed := now - r.lastSnapTime
+	var util, rate float64
+	if elapsed > 0 {
+		util = float64(busy-r.lastSnapBusy) / float64(elapsed)
+		rate = float64(r.msgsSinceSnap) / elapsed.Seconds()
+	}
+	r.lastSnapTime = now
+	r.lastSnapBusy = busy
+	r.msgsSinceSnap = 0
+	qlen := r.inbox.Len()
+	return mrai.Snapshot{
+		Now:            now,
+		Degree:         len(r.peers),
+		QueueLen:       qlen,
+		UnfinishedWork: time.Duration(qlen) * r.sim.params.MeanProc(),
+		Utilization:    util,
+		MsgRate:        rate,
+	}
+}

@@ -1,0 +1,350 @@
+package bgp
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"bgpsim/internal/des"
+	"bgpsim/internal/metrics"
+	"bgpsim/internal/mrai"
+	"bgpsim/internal/topology"
+	"bgpsim/internal/trace"
+)
+
+// Simulator wires a topology, the BGP routers, and the event engine into
+// one runnable simulation. Typical use:
+//
+//	sim, _ := New(net, params)
+//	sim.Start()                      // originate one prefix per AS
+//	sim.Run()                        // phase 1: initial convergence
+//	failAt := sim.Now() + settle
+//	sim.ScheduleFailure(failAt, nodes)
+//	sim.Run()                        // phase 2: re-convergence
+//	delay := sim.Collector().ConvergenceDelay()
+type Simulator struct {
+	net     *topology.Network
+	params  Params
+	eng     *des.Engine
+	rng     *des.RNG
+	routers []*router
+	col     *metrics.Collector
+	origins map[int]NodeID // destination prefix -> originating router
+	nprefix int            // prefixes per AS
+	tracer  trace.Tracer
+}
+
+// emit delivers an event to the configured tracer, if any. Callers guard
+// expensive event construction with `if s.tracer != nil` themselves when
+// it matters; the event structs here are stack values, so the overhead
+// of an unconditional call is one branch.
+func (s *Simulator) emit(e trace.Event) {
+	if s.tracer != nil {
+		s.tracer.Trace(e)
+	}
+}
+
+// New builds a simulator over net. The network must be non-empty; every
+// AS originates PrefixesPerAS prefixes (default one) at its
+// lowest-numbered router.
+func New(net *topology.Network, params Params) (*Simulator, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if net.NumNodes() == 0 {
+		return nil, fmt.Errorf("bgp: empty network")
+	}
+	s := &Simulator{
+		net:     net,
+		params:  params,
+		eng:     des.NewEngine(),
+		rng:     des.NewRNG(params.Seed),
+		col:     metrics.NewCollector(net.NumNodes()),
+		origins: make(map[int]NodeID),
+		nprefix: max(1, params.PrefixesPerAS),
+		tracer:  params.Tracer,
+	}
+	s.routers = make([]*router, net.NumNodes())
+	for id := 0; id < net.NumNodes(); id++ {
+		nbs := net.Neighbors(id)
+		peers := make([]Peer, 0, len(nbs))
+		for _, nb := range nbs {
+			delay := params.ExtDelay
+			if nb.Internal {
+				delay = params.IntDelay
+			}
+			peers = append(peers, Peer{
+				Node:     nb.ID,
+				AS:       net.ASOf(nb.ID),
+				Internal: nb.Internal,
+				Delay:    delay,
+			})
+		}
+		// Stable peer order: by node id. Slot order drives tie-breaking
+		// iteration and message emission order.
+		sort.Slice(peers, func(i, j int) bool { return peers[i].Node < peers[j].Node })
+		s.routers[id] = newRouter(id, net.ASOf(id), peers, params, params.MRAI, s)
+	}
+	for id := 0; id < net.NumNodes(); id++ {
+		as := net.ASOf(id)
+		for i := 0; i < s.nprefix; i++ {
+			dest := as*s.nprefix + i
+			if cur, ok := s.origins[dest]; !ok || id < cur {
+				s.origins[dest] = id
+			}
+		}
+	}
+	return s, nil
+}
+
+// ASOfDest returns the AS that originates destination prefix dest.
+func (s *Simulator) ASOfDest(dest int) ASN { return dest / s.nprefix }
+
+// Start schedules the origination of every prefix, staggered uniformly
+// over OriginationSpread.
+func (s *Simulator) Start() {
+	dests := make([]int, 0, len(s.origins))
+	for dest := range s.origins {
+		dests = append(dests, dest)
+	}
+	sort.Ints(dests)
+	for _, dest := range dests {
+		id := s.origins[dest]
+		var at des.Time
+		if s.params.OriginationSpread > 0 {
+			at = s.rng.UniformDuration(0, s.params.OriginationSpread)
+		}
+		dest := dest
+		s.eng.ScheduleAt(at, func() { s.routers[id].originate(dest) })
+	}
+}
+
+// Run drains the event queue (to quiescence) and returns any engine error.
+func (s *Simulator) Run() error { return s.eng.Run() }
+
+// RunUntil runs events up to the deadline.
+func (s *Simulator) RunUntil(deadline des.Time) error { return s.eng.RunUntil(deadline) }
+
+// Now returns the current simulated time.
+func (s *Simulator) Now() des.Time { return s.eng.Now() }
+
+// Collector exposes the metrics collector.
+func (s *Simulator) Collector() *metrics.Collector { return s.col }
+
+// ScheduleFailure kills the given nodes at time at and opens the metrics
+// measurement window there. Surviving neighbors run session-down
+// processing after DetectDelay.
+func (s *Simulator) ScheduleFailure(at des.Time, nodes []int) {
+	failed := append([]int(nil), nodes...)
+	sort.Ints(failed)
+	s.eng.ScheduleAt(at, func() {
+		s.col.OpenWindow(at)
+		for _, id := range failed {
+			if id >= 0 && id < len(s.routers) {
+				s.routers[id].kill()
+				s.emit(trace.Event{At: at, Kind: trace.KindNodeFailure, Node: id, Peer: -1, Dest: -1})
+			}
+		}
+		if s.params.OracleMRAI != nil {
+			s.applyOracle(len(failed))
+		}
+		// Session-down processing at surviving peers.
+		for _, id := range failed {
+			if id < 0 || id >= len(s.routers) {
+				continue
+			}
+			for _, peer := range s.routers[id].peers {
+				nb := s.routers[peer.Node]
+				if !nb.alive {
+					continue
+				}
+				slot, ok := nb.slotOf[id]
+				if !ok {
+					continue
+				}
+				if s.params.DetectDelay > 0 {
+					s.eng.Schedule(s.params.DetectDelay, func() { nb.peerDown(slot) })
+				} else {
+					nb.peerDown(slot)
+				}
+			}
+		}
+	})
+}
+
+// ScheduleLinkFailure tears down the sessions on the given links at time
+// at without killing any router — the link-only failure mode the paper
+// sets aside as unlikely for large-scale disasters but which matters for
+// fiber cuts. Each link is a pair of node IDs; unknown or already-down
+// sessions are ignored. The metrics window opens at the failure time.
+func (s *Simulator) ScheduleLinkFailure(at des.Time, links [][2]int) {
+	cut := append([][2]int(nil), links...)
+	s.eng.ScheduleAt(at, func() {
+		s.col.OpenWindow(at)
+		for _, l := range cut {
+			a, b := l[0], l[1]
+			if a < 0 || b < 0 || a >= len(s.routers) || b >= len(s.routers) {
+				continue
+			}
+			ra, rb := s.routers[a], s.routers[b]
+			slotAB, okA := ra.slotOf[b]
+			slotBA, okB := rb.slotOf[a]
+			if !okA || !okB {
+				continue
+			}
+			down := func(r *router, slot int) {
+				if s.params.DetectDelay > 0 {
+					s.eng.Schedule(s.params.DetectDelay, func() { r.peerDown(slot) })
+				} else {
+					r.peerDown(slot)
+				}
+			}
+			down(ra, slotAB)
+			down(rb, slotBA)
+		}
+	})
+}
+
+// ScheduleRecovery revives the given (previously failed) routers at time
+// at. Revived routers come back with empty RIBs — as after a reboot —
+// re-originate their prefixes where applicable, and re-establish sessions
+// with every live neighbor; both sides then exchange full tables, the
+// standard BGP session-establishment behaviour.
+func (s *Simulator) ScheduleRecovery(at des.Time, nodes []int) {
+	revived := append([]int(nil), nodes...)
+	sort.Ints(revived)
+	s.eng.ScheduleAt(at, func() {
+		// Phase 1: bring the routers back with clean state.
+		for _, id := range revived {
+			if id < 0 || id >= len(s.routers) {
+				continue
+			}
+			r := s.routers[id]
+			if r.alive {
+				continue
+			}
+			r.revive()
+			s.emit(trace.Event{At: at, Kind: trace.KindNodeRecovery, Node: id, Peer: -1, Dest: -1})
+		}
+		// Phase 2: re-originate prefixes whose origin router came back.
+		for _, id := range revived {
+			if id < 0 || id >= len(s.routers) || !s.routers[id].alive {
+				continue
+			}
+			as := s.net.ASOf(id)
+			for i := 0; i < s.nprefix; i++ {
+				dest := as*s.nprefix + i
+				if origin, ok := s.origins[dest]; ok && origin == id {
+					s.routers[id].originate(dest)
+				}
+			}
+		}
+		// Phase 3: re-establish sessions where both endpoints are alive.
+		for _, id := range revived {
+			if id < 0 || id >= len(s.routers) || !s.routers[id].alive {
+				continue
+			}
+			r := s.routers[id]
+			for slot, peer := range r.peers {
+				nb := s.routers[peer.Node]
+				if !nb.alive {
+					continue
+				}
+				r.peerUp(slot)
+				if nbSlot, ok := nb.slotOf[id]; ok {
+					nb.peerUp(nbSlot)
+				}
+			}
+		}
+	})
+}
+
+// applyOracle switches every surviving Settable policy to the MRAI the
+// oracle table prescribes for this failure extent. Like the dynamic
+// scheme, the change takes effect at each router's next timer restart.
+func (s *Simulator) applyOracle(failedCount int) {
+	d := s.params.OracleMRAI(float64(failedCount) / float64(len(s.routers)))
+	for _, r := range s.routers {
+		if !r.alive {
+			continue
+		}
+		if settable, ok := r.policy.(mrai.Settable); ok {
+			settable.Set(d)
+		}
+	}
+}
+
+// Alive reports whether node id survived.
+func (s *Simulator) Alive(id NodeID) bool {
+	return id >= 0 && id < len(s.routers) && s.routers[id].alive
+}
+
+// LocPath returns node id's current best path to dest and whether one
+// exists. The caller must not modify the returned slice.
+func (s *Simulator) LocPath(id NodeID, dest ASN) (Path, bool) {
+	if id < 0 || id >= len(s.routers) {
+		return nil, false
+	}
+	e, ok := s.routers[id].loc[dest]
+	if !ok {
+		return nil, false
+	}
+	return e.path, true
+}
+
+// Destinations returns the sorted list of originated prefixes. With
+// PrefixesPerAS == 1 (the default) prefix ids equal AS numbers; otherwise
+// AS a originates prefixes a*k .. a*k+k-1.
+func (s *Simulator) Destinations() []int {
+	out := make([]int, 0, len(s.origins))
+	for dest := range s.origins {
+		out = append(out, dest)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// OriginOf returns the router originating destination prefix dest.
+func (s *Simulator) OriginOf(dest int) (NodeID, bool) {
+	id, ok := s.origins[dest]
+	return id, ok
+}
+
+// Network returns the topology the simulator runs on.
+func (s *Simulator) Network() *topology.Network { return s.net }
+
+// PolicyLevelHistogram returns, for dynamic-MRAI runs, how many live
+// routers sit at each ladder level (diagnostic).
+func (s *Simulator) PolicyLevelHistogram() map[int]int {
+	h := make(map[int]int)
+	for _, r := range s.routers {
+		if !r.alive {
+			continue
+		}
+		type leveler interface{ Level() int }
+		if lv, ok := r.policy.(leveler); ok {
+			h[lv.Level()]++
+		}
+	}
+	return h
+}
+
+// SettleMargin is the idle gap inserted between initial convergence and
+// failure injection so Phase 1 stragglers never overlap the window.
+const SettleMargin = 5 * time.Second
+
+// ConvergeAndFail is the standard experiment flow: run initial
+// convergence, inject the failure SettleMargin later, re-converge, and
+// return the post-failure convergence delay.
+func (s *Simulator) ConvergeAndFail(nodes []int) (time.Duration, error) {
+	s.Start()
+	if err := s.Run(); err != nil {
+		return 0, fmt.Errorf("initial convergence: %w", err)
+	}
+	failAt := s.eng.Now() + SettleMargin
+	s.ScheduleFailure(failAt, nodes)
+	if err := s.Run(); err != nil {
+		return 0, fmt.Errorf("re-convergence: %w", err)
+	}
+	return s.col.ConvergenceDelay(), nil
+}

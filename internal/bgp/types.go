@@ -1,0 +1,84 @@
+// Package bgp implements the BGP-4 path-vector model the paper simulates
+// with SSFNet: per-destination route advertisement and withdrawal,
+// Adj-RIB-In / Loc-RIB with a shortest-AS-path decision process, per-peer
+// MRAI timers with RFC 1771 jitter, a serial CPU with configurable
+// per-update processing delay, EBGP plus full-mesh IBGP for multi-router
+// ASes, and the paper's batched update-processing scheme.
+package bgp
+
+import "time"
+
+// ASN identifies an autonomous system; one prefix (destination) is
+// originated per AS and identified by the originating ASN.
+type ASN = int
+
+// NodeID identifies a router.
+type NodeID = int
+
+// Path is an AS-level path to a destination, nearest AS first. The empty
+// path denotes an intra-AS (locally originated or IBGP-learned) route;
+// a nil path inside an Update denotes a withdrawal.
+type Path = []ASN
+
+// Update is one route-level BGP message: an announcement (Path != nil)
+// or a withdrawal (Path == nil) for one destination.
+type Update struct {
+	From NodeID
+	Dest ASN
+	Path Path
+}
+
+// IsWithdrawal reports whether the update withdraws the route.
+func (u Update) IsWithdrawal() bool { return u.Path == nil }
+
+// pathContains reports whether as appears on p.
+func pathContains(p Path, as ASN) bool {
+	for _, a := range p {
+		if a == as {
+			return true
+		}
+	}
+	return false
+}
+
+// pathsEqual reports whether two paths are identical (nil != empty).
+func pathsEqual(a, b Path) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// clonePath copies a path; announcements own their path slices.
+func clonePath(p Path) Path {
+	if p == nil {
+		return nil
+	}
+	out := make(Path, len(p))
+	copy(out, p)
+	return out
+}
+
+// prependPath returns a new path with as in front of p.
+func prependPath(as ASN, p Path) Path {
+	out := make(Path, 0, len(p)+1)
+	out = append(out, as)
+	out = append(out, p...)
+	return out
+}
+
+// Peer describes one BGP session endpoint from a router's point of view.
+type Peer struct {
+	Node     NodeID
+	AS       ASN
+	Internal bool
+	Delay    time.Duration
+}

@@ -1,0 +1,139 @@
+// Package core packages the paper's contribution: the named schemes
+// (constant / degree-dependent / dynamic MRAI, batched update processing)
+// and a registry of experiment definitions that regenerate every figure
+// in the paper's evaluation (Figs 1–13) plus ablation experiments for the
+// design choices DESIGN.md calls out.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"bgpsim/internal/experiment"
+	"bgpsim/internal/topology"
+)
+
+// Options scales an experiment. The zero value is not valid; start from
+// DefaultOptions (paper scale) or QuickOptions (CI scale).
+type Options struct {
+	// Nodes is the AS count for the skewed topologies (paper: 120) and
+	// the AS count for Fig 13's realistic topologies.
+	Nodes int
+	// Trials is the replication count per data point.
+	Trials int
+	// Seed is the base seed; every cell derives from it.
+	Seed int64
+	// FailureSizes is the failure-size axis in percent of routers.
+	FailureSizes []float64
+	// MRAIs is the MRAI axis in seconds for the V-curve figures.
+	MRAIs []float64
+	// RealisticMaxASSize caps routers per AS for Fig 13 (paper: 100;
+	// smaller values keep IBGP meshes manageable).
+	RealisticMaxASSize int
+	// Progress, when set, receives per-cell completion callbacks.
+	Progress func(done, total int)
+}
+
+// DefaultOptions reproduces the paper's configuration.
+func DefaultOptions() Options {
+	return Options{
+		Nodes:              120,
+		Trials:             3,
+		Seed:               1,
+		FailureSizes:       append([]float64(nil), experiment.FailureSizesPct...),
+		MRAIs:              append([]float64(nil), experiment.MRAISweepSeconds...),
+		RealisticMaxASSize: 100,
+	}
+}
+
+// QuickOptions is a reduced configuration for tests and benchmarks:
+// half-size networks, single trial, coarser axes. The trends survive;
+// only the variance suffers.
+func QuickOptions() Options {
+	return Options{
+		Nodes:              60,
+		Trials:             1,
+		Seed:               1,
+		FailureSizes:       []float64{2.5, 10, 20},
+		MRAIs:              []float64{0.25, 0.75, 1.5, 3.0},
+		RealisticMaxASSize: 6,
+	}
+}
+
+// normalize fills zero fields from defaults.
+func (o Options) normalize() Options {
+	def := DefaultOptions()
+	if o.Nodes == 0 {
+		o.Nodes = def.Nodes
+	}
+	if o.Trials == 0 {
+		o.Trials = def.Trials
+	}
+	if o.Seed == 0 {
+		o.Seed = def.Seed
+	}
+	if len(o.FailureSizes) == 0 {
+		o.FailureSizes = def.FailureSizes
+	}
+	if len(o.MRAIs) == 0 {
+		o.MRAIs = def.MRAIs
+	}
+	if o.RealisticMaxASSize == 0 {
+		o.RealisticMaxASSize = def.RealisticMaxASSize
+	}
+	return o
+}
+
+// skewedTopo returns the default 70-30 topology spec at the option scale.
+func (o Options) skewedTopo(kind topology.Kind) topology.Spec {
+	return topology.Spec{Kind: kind, N: o.Nodes}
+}
+
+// realisticTopo returns the Fig 13 topology spec at the option scale.
+func (o Options) realisticTopo() topology.Spec {
+	return topology.Spec{Kind: topology.KindRealistic, N: o.Nodes, MaxASSize: o.RealisticMaxASSize}
+}
+
+// Experiment is a runnable reproduction of one paper figure (or one
+// ablation study).
+type Experiment struct {
+	// ID is "fig1".."fig13" for paper figures, "ablation-*" for extras.
+	ID string
+	// Title describes what the paper plots.
+	Title string
+	// What summarizes the expected qualitative outcome.
+	What string
+	// Run executes the experiment at the given scale.
+	Run func(Options) (experiment.Figure, error)
+}
+
+// Registry returns every experiment, paper figures first in numeric
+// order, then ablations alphabetically.
+func Registry() []Experiment {
+	exps := []Experiment{
+		fig1(), fig2(), fig3(), fig4(), fig5(), fig6(), fig7(),
+		fig8(), fig9(), fig10(), fig11(), fig12(), fig13(),
+	}
+	abl := Ablations()
+	sort.Slice(abl, func(i, j int) bool { return abl[i].ID < abl[j].ID })
+	return append(exps, abl...)
+}
+
+// Lookup finds an experiment by ID ("fig7", "7", "ablation-batch-discard").
+func Lookup(id string) (Experiment, error) {
+	for _, e := range Registry() {
+		if e.ID == id || e.ID == "fig"+id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("core: unknown experiment %q", id)
+}
+
+// PaperMRAIs are the three constant MRAI values the paper compares
+// throughout (Figs 1, 2, 6, 7, 10, 11).
+var PaperMRAIs = []time.Duration{
+	500 * time.Millisecond,
+	1250 * time.Millisecond,
+	2250 * time.Millisecond,
+}

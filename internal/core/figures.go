@@ -1,0 +1,352 @@
+package core
+
+import (
+	"time"
+
+	"bgpsim/internal/experiment"
+	"bgpsim/internal/failure"
+	"bgpsim/internal/mrai"
+	"bgpsim/internal/topology"
+)
+
+// sweepBySize builds a failure-size sweep (x axis: % of routers failed,
+// one series per scheme) on the given topology.
+func sweepBySize(o Options, topo topology.Spec, schemes []experiment.Scheme, metric experiment.Metric) (experiment.Figure, error) {
+	names := make([]string, len(schemes))
+	for i, s := range schemes {
+		names[i] = s.Name
+	}
+	fig, err := experiment.Sweep(experiment.SweepConfig{
+		SeriesNames:           names,
+		Xs:                    o.FailureSizes,
+		Trials:                o.Trials,
+		Metric:                metric,
+		SameWorldAcrossSeries: true,
+		Progress:              o.Progress,
+		Cell: func(si int, x float64) experiment.Scenario {
+			return experiment.Scenario{
+				Topology: topo,
+				Failure:  failure.Geographic(x / 100),
+				Scheme:   schemes[si],
+				Seed:     o.Seed,
+			}
+		},
+	})
+	if err != nil {
+		return experiment.Figure{}, err
+	}
+	fig.XLabel = "failure size (% of routers)"
+	return fig, nil
+}
+
+// mraiVariant is one series of an MRAI sweep: a topology and failure
+// size, with an optional scheme wrapper around the swept constant MRAI.
+type mraiVariant struct {
+	name    string
+	topo    topology.Spec
+	frac    float64
+	batched bool
+}
+
+// sweepByMRAI builds a V-curve sweep (x axis: MRAI seconds).
+func sweepByMRAI(o Options, variants []mraiVariant) (experiment.Figure, error) {
+	names := make([]string, len(variants))
+	for i, v := range variants {
+		names[i] = v.name
+	}
+	fig, err := experiment.Sweep(experiment.SweepConfig{
+		SeriesNames:           names,
+		Xs:                    o.MRAIs,
+		Trials:                o.Trials,
+		Metric:                experiment.MetricDelay,
+		SameWorldAcrossSeries: false, // series differ in topology/failure anyway
+		Progress:              o.Progress,
+		Cell: func(si int, x float64) experiment.Scenario {
+			v := variants[si]
+			scheme := experiment.ConstantMRAI(experiment.SecondsToDuration(x))
+			if v.batched {
+				scheme = experiment.Batching(experiment.SecondsToDuration(x))
+			}
+			return experiment.Scenario{
+				Topology: v.topo,
+				Failure:  failure.Geographic(v.frac),
+				Scheme:   scheme,
+				Seed:     o.Seed,
+			}
+		},
+	})
+	if err != nil {
+		return experiment.Figure{}, err
+	}
+	fig.XLabel = "MRAI (s)"
+	return fig, nil
+}
+
+func constantSchemes() []experiment.Scheme {
+	out := make([]experiment.Scheme, len(PaperMRAIs))
+	for i, d := range PaperMRAIs {
+		out[i] = experiment.ConstantMRAI(d)
+	}
+	return out
+}
+
+func fig1() Experiment {
+	return Experiment{
+		ID:    "fig1",
+		Title: "Convergence delay for different sized failures",
+		What: "low MRAI is best for small failures but its delay rises " +
+			"sharply with failure size; high MRAI starts worse but grows gently",
+		Run: func(o Options) (experiment.Figure, error) {
+			o = o.normalize()
+			fig, err := sweepBySize(o, o.skewedTopo(topology.KindSkewed7030), constantSchemes(), experiment.MetricDelay)
+			fig.ID, fig.Title = "Fig 1", "Convergence delay for different sized failures"
+			return fig, err
+		},
+	}
+}
+
+func fig2() Experiment {
+	return Experiment{
+		ID:    "fig2",
+		Title: "Number of generated messages for different MRAI values",
+		What: "message count for MRAI=0.5s shoots up with failure size; " +
+			"larger MRAIs grow gradually",
+		Run: func(o Options) (experiment.Figure, error) {
+			o = o.normalize()
+			fig, err := sweepBySize(o, o.skewedTopo(topology.KindSkewed7030), constantSchemes(), experiment.MetricMessages)
+			fig.ID, fig.Title = "Fig 2", "Number of generated messages for different MRAI values"
+			return fig, err
+		},
+	}
+}
+
+func fig3() Experiment {
+	return Experiment{
+		ID:    "fig3",
+		Title: "Variation in convergence delay with MRAI",
+		What: "V-shaped curves whose minimum (optimal MRAI) moves right as " +
+			"the failure grows (≈0.5s at 1%, ≈1.25s at 5%)",
+		Run: func(o Options) (experiment.Figure, error) {
+			o = o.normalize()
+			topo := o.skewedTopo(topology.KindSkewed7030)
+			fig, err := sweepByMRAI(o, []mraiVariant{
+				{name: "1% failure", topo: topo, frac: 0.01},
+				{name: "5% failure", topo: topo, frac: 0.05},
+				{name: "10% failure", topo: topo, frac: 0.10},
+			})
+			fig.ID, fig.Title = "Fig 3", "Variation in convergence delay with MRAI"
+			return fig, err
+		},
+	}
+}
+
+func fig4() Experiment {
+	return Experiment{
+		ID:    "fig4",
+		Title: "Convergence delay for different topologies",
+		What: "at 5% failure the optimal MRAI grows with the degree of the " +
+			"high-degree nodes: ≈1.0s (50-50), ≈1.25s (70-30), ≈2.25s (85-15)",
+		Run: func(o Options) (experiment.Figure, error) {
+			o = o.normalize()
+			fig, err := sweepByMRAI(o, []mraiVariant{
+				{name: "50-50", topo: o.skewedTopo(topology.KindSkewed5050), frac: 0.05},
+				{name: "70-30", topo: o.skewedTopo(topology.KindSkewed7030), frac: 0.05},
+				{name: "85-15", topo: o.skewedTopo(topology.KindSkewed8515), frac: 0.05},
+			})
+			fig.ID, fig.Title = "Fig 4", "Convergence delay for different topologies"
+			return fig, err
+		},
+	}
+}
+
+func fig5() Experiment {
+	return Experiment{
+		ID:    "fig5",
+		Title: "Effect of average degree on convergence delay",
+		What: "doubling the average degree (3.8 -> 7.6) raises both the " +
+			"optimal MRAI (to ≈2s) and the delay",
+		Run: func(o Options) (experiment.Figure, error) {
+			o = o.normalize()
+			fig, err := sweepByMRAI(o, []mraiVariant{
+				{name: "avg degree 3.8", topo: o.skewedTopo(topology.KindSkewed5050), frac: 0.05},
+				{name: "avg degree 7.6", topo: o.skewedTopo(topology.KindSkewed5050Dense), frac: 0.05},
+			})
+			fig.ID, fig.Title = "Fig 5", "Effect of average degree on convergence delay"
+			return fig, err
+		},
+	}
+}
+
+// degreeThreshold separates the low class (degree 1–3) from the high
+// class in the skewed topologies; the repair step can bump a low node to
+// 4, so the cut sits at 5.
+const degreeThreshold = 5
+
+func fig6() Experiment {
+	low, high := 500*time.Millisecond, 2250*time.Millisecond
+	return Experiment{
+		ID:    "fig6",
+		Title: "Effect of degree dependent MRAI",
+		What: "(low 0.5, high 2.25) tracks MRAI=2.25s for large failures while " +
+			"staying lower for small ones; the reversed assignment is as bad as 0.5s",
+		Run: func(o Options) (experiment.Figure, error) {
+			o = o.normalize()
+			schemes := []experiment.Scheme{
+				named("low 0.5, high 2.25", experiment.DegreeMRAI(degreeThreshold, low, high)),
+				named("low 2.25, high 0.5", experiment.DegreeMRAI(degreeThreshold, high, low)),
+				experiment.ConstantMRAI(low),
+				experiment.ConstantMRAI(high),
+			}
+			fig, err := sweepBySize(o, o.skewedTopo(topology.KindSkewed7030), schemes, experiment.MetricDelay)
+			fig.ID, fig.Title = "Fig 6", "Effect of degree dependent MRAI"
+			return fig, err
+		},
+	}
+}
+
+func fig7() Experiment {
+	return Experiment{
+		ID:    "fig7",
+		Title: "Effect of dynamic MRAI",
+		What: "the dynamic scheme stays near the per-size minimum: at or below " +
+			"MRAI=0.5s for small failures, between 1.25s and 2.25s for large ones",
+		Run: func(o Options) (experiment.Figure, error) {
+			o = o.normalize()
+			schemes := append([]experiment.Scheme{experiment.PaperDynamicMRAI()}, constantSchemes()...)
+			fig, err := sweepBySize(o, o.skewedTopo(topology.KindSkewed7030), schemes, experiment.MetricDelay)
+			fig.ID, fig.Title = "Fig 7", "Effect of dynamic MRAI"
+			return fig, err
+		},
+	}
+}
+
+func fig8() Experiment {
+	return Experiment{
+		ID:    "fig8",
+		Title: "Effect of upTh on convergence delay",
+		What: "low upTh behaves like a constant high MRAI (bad for small, good " +
+			"for large failures); raising it shifts the balance, with a wide good range",
+		Run: func(o Options) (experiment.Figure, error) {
+			o = o.normalize()
+			var schemes []experiment.Scheme
+			for _, up := range []time.Duration{50 * time.Millisecond, 200 * time.Millisecond,
+				650 * time.Millisecond, 1250 * time.Millisecond} {
+				schemes = append(schemes, named("upTh="+up.String(),
+					experiment.DynamicMRAI(mrai.PaperLevels, up, 0)))
+			}
+			fig, err := sweepBySize(o, o.skewedTopo(topology.KindSkewed7030), schemes, experiment.MetricDelay)
+			fig.ID, fig.Title = "Fig 8", "Effect of upTh on convergence delay"
+			return fig, err
+		},
+	}
+}
+
+func fig9() Experiment {
+	return Experiment{
+		ID:    "fig9",
+		Title: "Effect of downTh on convergence delay",
+		What: "raising downTh makes more nodes drop their MRAI, increasing the " +
+			"delay for larger failures; results are stable over a range",
+		Run: func(o Options) (experiment.Figure, error) {
+			o = o.normalize()
+			var schemes []experiment.Scheme
+			for _, down := range []time.Duration{0, 50 * time.Millisecond,
+				200 * time.Millisecond, 450 * time.Millisecond} {
+				schemes = append(schemes, named("downTh="+down.String(),
+					experiment.DynamicMRAI(mrai.PaperLevels, mrai.PaperUpTh, down)))
+			}
+			fig, err := sweepBySize(o, o.skewedTopo(topology.KindSkewed7030), schemes, experiment.MetricDelay)
+			fig.ID, fig.Title = "Fig 9", "Effect of downTh on convergence delay"
+			return fig, err
+		},
+	}
+}
+
+func fig10() Experiment {
+	return Experiment{
+		ID:    "fig10",
+		Title: "Performance of batching scheme",
+		What: "batching at MRAI=0.5s cuts the large-failure delay by ≈3x versus " +
+			"plain 0.5s while keeping small-failure delays low; batch+dynamic is best",
+		Run: func(o Options) (experiment.Figure, error) {
+			o = o.normalize()
+			schemes := []experiment.Scheme{
+				experiment.Batching(500 * time.Millisecond),
+				experiment.PaperDynamicMRAI(),
+				named("batch+dynamic", experiment.BatchingDynamic(mrai.PaperLevels, mrai.PaperUpTh, mrai.PaperDownTh)),
+				experiment.ConstantMRAI(500 * time.Millisecond),
+				experiment.ConstantMRAI(2250 * time.Millisecond),
+			}
+			fig, err := sweepBySize(o, o.skewedTopo(topology.KindSkewed7030), schemes, experiment.MetricDelay)
+			fig.ID, fig.Title = "Fig 10", "Performance of batching scheme"
+			return fig, err
+		},
+	}
+}
+
+func fig11() Experiment {
+	return Experiment{
+		ID:    "fig11",
+		Title: "Number of messages generated by the batching scheme",
+		What: "batching at 0.5s generates far fewer messages than plain 0.5s, " +
+			"in the same range as MRAI=2.25s",
+		Run: func(o Options) (experiment.Figure, error) {
+			o = o.normalize()
+			schemes := []experiment.Scheme{
+				experiment.Batching(500 * time.Millisecond),
+				experiment.ConstantMRAI(500 * time.Millisecond),
+				experiment.ConstantMRAI(2250 * time.Millisecond),
+			}
+			fig, err := sweepBySize(o, o.skewedTopo(topology.KindSkewed7030), schemes, experiment.MetricMessages)
+			fig.ID, fig.Title = "Fig 11", "Number of messages generated by the batching scheme"
+			return fig, err
+		},
+	}
+}
+
+func fig12() Experiment {
+	return Experiment{
+		ID:    "fig12",
+		Title: "Effect of batching with different MRAIs",
+		What: "batching helps substantially below the optimal MRAI and is a " +
+			"no-op above it (no overloaded nodes left to relieve)",
+		Run: func(o Options) (experiment.Figure, error) {
+			o = o.normalize()
+			topo := o.skewedTopo(topology.KindSkewed7030)
+			fig, err := sweepByMRAI(o, []mraiVariant{
+				{name: "batching", topo: topo, frac: 0.05, batched: true},
+				{name: "no batching", topo: topo, frac: 0.05},
+			})
+			fig.ID, fig.Title = "Fig 12", "Effect of batching with different MRAIs"
+			return fig, err
+		},
+	}
+}
+
+func fig13() Experiment {
+	return Experiment{
+		ID:    "fig13",
+		Title: "Convergence delay of realistic topologies",
+		What: "on multi-router-per-AS Internet-like topologies the same story " +
+			"holds with optima 0.5s (small) and 3.5s (large failures)",
+		Run: func(o Options) (experiment.Figure, error) {
+			o = o.normalize()
+			levels := []time.Duration{500 * time.Millisecond, 1500 * time.Millisecond, 3500 * time.Millisecond}
+			schemes := []experiment.Scheme{
+				experiment.Batching(500 * time.Millisecond),
+				named("dynamic", experiment.DynamicMRAI(levels, mrai.PaperUpTh, mrai.PaperDownTh)),
+				experiment.ConstantMRAI(500 * time.Millisecond),
+				experiment.ConstantMRAI(3500 * time.Millisecond),
+			}
+			fig, err := sweepBySize(o, o.realisticTopo(), schemes, experiment.MetricDelay)
+			fig.ID, fig.Title = "Fig 13", "Convergence delay of realistic topologies"
+			return fig, err
+		},
+	}
+}
+
+// named overrides a scheme's display name.
+func named(name string, s experiment.Scheme) experiment.Scheme {
+	s.Name = name
+	return s
+}

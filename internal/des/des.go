@@ -1,0 +1,166 @@
+// Package des implements a deterministic discrete-event simulation kernel.
+//
+// The kernel is intentionally minimal: a simulated clock, a priority queue
+// of events ordered by (time, insertion sequence), and seeded random-number
+// streams. Determinism is a hard requirement for the BGP experiments built
+// on top — two runs with the same seed must produce byte-identical results —
+// so ties between events scheduled for the same instant are broken by
+// insertion order, never by map iteration or heap instability.
+package des
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a simulated instant, measured as an offset from the start of the
+// simulation. The zero Time is the simulation epoch.
+type Time = time.Duration
+
+// Handler is the callback invoked when an event fires. It runs with the
+// engine clock set to the event's timestamp.
+type Handler func()
+
+// ErrHorizon is returned by Run variants when the configured event horizon
+// is exceeded, which almost always indicates a scheduling loop in the model.
+var ErrHorizon = errors.New("des: event horizon exceeded")
+
+// Event is a scheduled callback. Events are created by Engine.Schedule and
+// may be canceled before they fire.
+type Event struct {
+	at      Time
+	seq     uint64
+	index   int // heap index, -1 once popped
+	fn      Handler
+	stopped bool
+}
+
+// At reports the simulated time the event will fire (or would have fired,
+// if canceled).
+func (e *Event) At() Time { return e.at }
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.stopped }
+
+// Engine is a single simulation instance. An Engine is not safe for
+// concurrent use; run independent simulations on independent Engines
+// (one per goroutine) instead.
+type Engine struct {
+	now       Time
+	seq       uint64
+	queue     eventHeap
+	processed uint64
+	maxEvents uint64
+}
+
+// DefaultMaxEvents bounds a single Run to guard against runaway scheduling
+// loops in model code. It is far above anything the BGP experiments need.
+const DefaultMaxEvents = 200_000_000
+
+// NewEngine returns an engine with the clock at the epoch.
+func NewEngine() *Engine {
+	return &Engine{maxEvents: DefaultMaxEvents}
+}
+
+// SetMaxEvents overrides the runaway-loop guard. A value of zero restores
+// the default.
+func (e *Engine) SetMaxEvents(n uint64) {
+	if n == 0 {
+		n = DefaultMaxEvents
+	}
+	e.maxEvents = n
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of events scheduled but not yet fired,
+// including canceled events that have not been drained.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// Schedule arranges for fn to run after delay. A negative delay is treated
+// as zero (fire as soon as possible, after already-queued events at the
+// current instant). The returned event may be passed to Cancel.
+func (e *Engine) Schedule(delay Time, fn Handler) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt arranges for fn to run at absolute time at. Scheduling in the
+// past panics: it is a model bug, not a recoverable condition.
+func (e *Engine) ScheduleAt(at Time, fn Handler) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("des: schedule at %v before now %v", at, e.now))
+	}
+	if fn == nil {
+		panic("des: schedule nil handler")
+	}
+	e.seq++
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	e.queue.Push(ev)
+	return ev
+}
+
+// Cancel marks an event so it will not fire. Canceling an event that
+// already fired or was already canceled is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil {
+		return
+	}
+	ev.stopped = true
+	ev.fn = nil
+}
+
+// Step fires the next event. It reports false if the queue is empty.
+func (e *Engine) Step() bool {
+	for e.queue.Len() > 0 {
+		ev := e.queue.Pop()
+		if ev.stopped {
+			continue
+		}
+		e.now = ev.at
+		e.processed++
+		fn := ev.fn
+		ev.fn = nil
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue is empty. It returns ErrHorizon if the
+// event budget is exhausted first.
+func (e *Engine) Run() error {
+	return e.RunUntil(Time(math.MaxInt64))
+}
+
+// RunUntil fires events with timestamps <= deadline, advancing the clock to
+// at most deadline. Events beyond the deadline remain queued.
+func (e *Engine) RunUntil(deadline Time) error {
+	start := e.processed
+	for e.queue.Len() > 0 {
+		next := e.queue.Peek()
+		if next.stopped {
+			e.queue.Pop()
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		if e.processed-start >= e.maxEvents {
+			return ErrHorizon
+		}
+		e.Step()
+	}
+	if e.now < deadline && deadline != Time(math.MaxInt64) {
+		e.now = deadline
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package des
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < 1000; j++ {
+			e.Schedule(time.Duration(j%97)*time.Millisecond, func() {})
+		}
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNestedScheduling(b *testing.B) {
+	// The simulator's dominant pattern: handlers scheduling more work.
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		remaining := 10000
+		var step Handler
+		step = func() {
+			if remaining > 0 {
+				remaining--
+				e.Schedule(time.Millisecond, step)
+			}
+		}
+		e.Schedule(0, step)
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCancelHeavy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		events := make([]*Event, 1000)
+		for j := range events {
+			events[j] = e.Schedule(time.Duration(j)*time.Millisecond, func() {})
+		}
+		for j := 0; j < len(events); j += 2 {
+			e.Cancel(events[j])
+		}
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJitter(b *testing.B) {
+	g := NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		_ = g.Jitter(30 * time.Second)
+	}
+}
+
+func BenchmarkUniformDuration(b *testing.B) {
+	g := NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		_ = g.UniformDuration(time.Millisecond, 30*time.Millisecond)
+	}
+}

@@ -1,0 +1,81 @@
+package des
+
+// eventHeap is a binary min-heap of events ordered by (at, seq). It is
+// hand-rolled rather than wrapping container/heap to avoid the interface
+// boxing on every push/pop in the simulation hot loop.
+type eventHeap struct {
+	items []*Event
+}
+
+// Len returns the number of queued events (including canceled ones that
+// have not been drained yet).
+func (h *eventHeap) Len() int { return len(h.items) }
+
+// Peek returns the earliest event without removing it. It panics on an
+// empty heap; callers check Len first.
+func (h *eventHeap) Peek() *Event { return h.items[0] }
+
+func (h *eventHeap) less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (h *eventHeap) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.items[i].index = i
+	h.items[j].index = j
+}
+
+// Push inserts an event.
+func (h *eventHeap) Push(ev *Event) {
+	ev.index = len(h.items)
+	h.items = append(h.items, ev)
+	h.up(ev.index)
+}
+
+// Pop removes and returns the earliest event.
+func (h *eventHeap) Pop() *Event {
+	n := len(h.items)
+	h.swap(0, n-1)
+	ev := h.items[n-1]
+	h.items[n-1] = nil
+	h.items = h.items[:n-1]
+	if len(h.items) > 0 {
+		h.down(0)
+	}
+	ev.index = -1
+	return ev
+}
+
+func (h *eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *eventHeap) down(i int) {
+	n := len(h.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && h.less(right, left) {
+			least = right
+		}
+		if !h.less(least, i) {
+			break
+		}
+		h.swap(i, least)
+		i = least
+	}
+}

@@ -1,0 +1,77 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunTrialsParallelMatchesSerial(t *testing.T) {
+	sc := tinyScenario(31)
+	serial, err := RunTrials(sc, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunTrialsParallel(sc, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.MeanDelay != parallel.MeanDelay || serial.MeanMessages != parallel.MeanMessages {
+		t.Errorf("parallel diverged: serial (%v, %v) vs parallel (%v, %v)",
+			serial.MeanDelay, serial.MeanMessages, parallel.MeanDelay, parallel.MeanMessages)
+	}
+	for i := range serial.Results {
+		if serial.Results[i] != parallel.Results[i] {
+			t.Errorf("trial %d differs: %+v vs %+v", i, serial.Results[i], parallel.Results[i])
+		}
+	}
+}
+
+func TestRunTrialsParallelDefaults(t *testing.T) {
+	// workers <= 0 selects GOMAXPROCS; workers > n clamps; both must work.
+	sc := tinyScenario(33)
+	if _, err := RunTrialsParallel(sc, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunTrialsParallel(sc, 2, 99); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunTrialsParallel(sc, 0, 2); err == nil {
+		t.Error("zero trials accepted")
+	}
+}
+
+func TestRunTrialsParallelPropagatesErrors(t *testing.T) {
+	sc := tinyScenario(35)
+	sc.Topology.Kind = "bogus"
+	if _, err := RunTrialsParallel(sc, 3, 2); err == nil {
+		t.Error("bad topology swallowed")
+	}
+}
+
+func TestRunTrialsParallelSingleWorkerDelegates(t *testing.T) {
+	sc := tinyScenario(37)
+	st, err := RunTrialsParallel(sc, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.N != 2 {
+		t.Errorf("N = %d", st.N)
+	}
+}
+
+func TestPolicyRatioScenario(t *testing.T) {
+	sc := tinyScenario(39)
+	sc.PolicyRatio = 1.5
+	r, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Delay <= 0 {
+		t.Error("policy scenario produced no delay")
+	}
+	sc.PolicyRatio = 0.5 // invalid ratio must surface
+	if _, err := Run(sc); err == nil {
+		t.Error("invalid policy ratio accepted")
+	}
+	_ = time.Second
+}

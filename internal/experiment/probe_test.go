@@ -1,0 +1,35 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"bgpsim/internal/failure"
+	"bgpsim/internal/topology"
+)
+
+// TestProbePaperScale is a diagnostic: it prints timing and metric values
+// at the paper's 120-node scale so the figure defaults can be calibrated.
+// Run with: go test ./internal/experiment -run Probe -v
+func TestProbePaperScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probe skipped in -short")
+	}
+	topo := topology.Spec{Kind: topology.KindSkewed7030, N: 120}
+	for _, frac := range []float64{0.01, 0.05, 0.20} {
+		for _, m := range []float64{0.5, 2.25} {
+			start := time.Now()
+			r, err := Run(Scenario{
+				Topology: topo,
+				Failure:  failure.Geographic(frac),
+				Scheme:   ConstantMRAI(SecondsToDuration(m)),
+				Seed:     42,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("frac=%.2f mrai=%.2fs: delay=%v msgs=%d failed=%d wall=%v",
+				frac, m, r.Delay, r.Messages, r.FailedNodes, time.Since(start))
+		}
+	}
+}

@@ -1,0 +1,247 @@
+// Package experiment turns the substrates (topology, bgp, failure) into
+// repeatable experiments: a Scenario bundles one topology + failure +
+// scheme, trials replicate it over independent seeds, and sweeps produce
+// the figure series the paper reports.
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"bgpsim/internal/bgp"
+	"bgpsim/internal/des"
+	"bgpsim/internal/failure"
+	"bgpsim/internal/mrai"
+	"bgpsim/internal/topology"
+)
+
+// Scheme is a named convergence-improvement scheme: a mutation of the
+// base BGP parameters (MRAI policy, queue discipline, ablation flags).
+type Scheme struct {
+	Name  string
+	Apply func(*bgp.Params)
+}
+
+// ConstantMRAI is plain BGP with a fixed per-peer MRAI.
+func ConstantMRAI(d time.Duration) Scheme {
+	return Scheme{
+		Name:  fmt.Sprintf("MRAI=%s", formatSeconds(d)),
+		Apply: func(p *bgp.Params) { p.MRAI = mrai.Constant(d) },
+	}
+}
+
+// DegreeMRAI is the Section 4.2 scheme: low-degree routers use low,
+// high-degree routers (degree >= threshold) use high.
+func DegreeMRAI(threshold int, low, high time.Duration) Scheme {
+	return Scheme{
+		Name: fmt.Sprintf("deg<%d:%s,>=:%s", threshold, formatSeconds(low), formatSeconds(high)),
+		Apply: func(p *bgp.Params) {
+			p.MRAI = mrai.DegreeDependent(threshold, low, high)
+		},
+	}
+}
+
+// DynamicMRAI is the Section 4.3 unfinished-work ladder.
+func DynamicMRAI(levels []time.Duration, upTh, downTh time.Duration) Scheme {
+	return Scheme{
+		Name:  "dynamic",
+		Apply: func(p *bgp.Params) { p.MRAI = mrai.Dynamic(levels, upTh, downTh) },
+	}
+}
+
+// PaperDynamicMRAI is the exact Fig 7 dynamic configuration.
+func PaperDynamicMRAI() Scheme {
+	s := DynamicMRAI(mrai.PaperLevels, mrai.PaperUpTh, mrai.PaperDownTh)
+	return s
+}
+
+// Batching is the Section 4.4 destination-batched queue with a constant
+// MRAI (the paper pairs it with 0.5 s).
+func Batching(d time.Duration) Scheme {
+	return Scheme{
+		Name: fmt.Sprintf("batch,MRAI=%s", formatSeconds(d)),
+		Apply: func(p *bgp.Params) {
+			p.MRAI = mrai.Constant(d)
+			p.Queue = bgp.QueueBatched
+		},
+	}
+}
+
+// BatchingDynamic combines batching with the dynamic MRAI ladder — the
+// paper's best configuration.
+func BatchingDynamic(levels []time.Duration, upTh, downTh time.Duration) Scheme {
+	return Scheme{
+		Name: "batch+dynamic",
+		Apply: func(p *bgp.Params) {
+			p.MRAI = mrai.Dynamic(levels, upTh, downTh)
+			p.Queue = bgp.QueueBatched
+		},
+	}
+}
+
+// Custom wraps an arbitrary parameter mutation.
+func Custom(name string, apply func(*bgp.Params)) Scheme {
+	return Scheme{Name: name, Apply: apply}
+}
+
+func formatSeconds(d time.Duration) string {
+	return fmt.Sprintf("%.4gs", d.Seconds())
+}
+
+// Scenario is one fully specified simulation: build the topology, run to
+// initial convergence, inject the failure, and measure re-convergence.
+type Scenario struct {
+	Topology topology.Spec
+	Failure  failure.Spec
+	Scheme   Scheme
+	// Base supplies the non-scheme simulation parameters; zero value
+	// means bgp.DefaultParams().
+	Base *bgp.Params
+	// PolicyRatio, when positive, enables Gao–Rexford routing policies
+	// with relationships inferred from node degrees at this ratio
+	// (typical: 1.5). Zero keeps the paper's policy-free configuration.
+	// Degree inference can leave node pairs without any valley-free path.
+	PolicyRatio float64
+	// PolicyHierarchical enables Gao–Rexford policies with BFS-hierarchy
+	// relationships (full valley-free reachability guaranteed). Takes
+	// precedence over PolicyRatio.
+	PolicyHierarchical bool
+	Seed               int64
+}
+
+// Result captures one trial's measurements.
+type Result struct {
+	Delay time.Duration
+	// WindowStart is the absolute simulated time of the failure, the
+	// anchor for trace analysis.
+	WindowStart   time.Duration
+	Messages      int
+	Announcements int
+	Withdrawals   int
+	Processed     int
+	Discarded     int
+	RouteChanges  int
+	FailedNodes   int
+	Nodes         int
+}
+
+// Run executes the scenario once. Seed controls every random choice, so
+// identical scenarios produce identical results.
+func Run(sc Scenario) (Result, error) {
+	root := des.NewRNG(sc.Seed)
+	topoRNG := root.Split("topology")
+	failRNG := root.Split("failure")
+
+	net, err := sc.Topology.Build(topoRNG)
+	if err != nil {
+		return Result{}, fmt.Errorf("build topology: %w", err)
+	}
+	params := bgp.DefaultParams()
+	if sc.Base != nil {
+		params = *sc.Base
+	}
+	params.Seed = root.Split("sim").Int63()
+	if sc.Scheme.Apply != nil {
+		sc.Scheme.Apply(&params)
+	}
+	switch {
+	case sc.PolicyHierarchical:
+		rs, err := topology.HierarchicalRelationships(net)
+		if err != nil {
+			return Result{}, fmt.Errorf("hierarchical policy: %w", err)
+		}
+		params.Policy = rs
+	case sc.PolicyRatio > 0:
+		rs, err := topology.InferRelationships(net, sc.PolicyRatio)
+		if err != nil {
+			return Result{}, fmt.Errorf("infer policy: %w", err)
+		}
+		params.Policy = rs
+	}
+	sim, err := bgp.New(net, params)
+	if err != nil {
+		return Result{}, fmt.Errorf("build simulator: %w", err)
+	}
+	nodes, err := failure.Select(net, sc.Failure, failRNG)
+	if err != nil {
+		return Result{}, fmt.Errorf("select failure: %w", err)
+	}
+	delay, err := sim.ConvergeAndFail(nodes)
+	if err != nil {
+		return Result{}, err
+	}
+	col := sim.Collector()
+	return Result{
+		Delay:         delay,
+		WindowStart:   col.WindowStart(),
+		Messages:      col.Messages(),
+		Announcements: col.Announcements,
+		Withdrawals:   col.Withdrawals,
+		Processed:     col.Processed,
+		Discarded:     col.Discarded,
+		RouteChanges:  col.RouteChanges(),
+		FailedNodes:   len(nodes),
+		Nodes:         net.NumNodes(),
+	}, nil
+}
+
+// Stats aggregates replicated trials.
+type Stats struct {
+	N            int
+	MeanDelay    time.Duration
+	StdDelay     time.Duration
+	MeanMessages float64
+	StdMessages  float64
+	MeanDiscard  float64
+	Results      []Result
+}
+
+// RunTrials executes the scenario n times with seeds Seed, Seed+1, ...
+// (fresh topology, failure draw, and simulation randomness per trial) and
+// aggregates.
+func RunTrials(sc Scenario, n int) (Stats, error) {
+	if n < 1 {
+		return Stats{}, fmt.Errorf("experiment: trials=%d", n)
+	}
+	results := make([]Result, n)
+	for i := 0; i < n; i++ {
+		trial := sc
+		trial.Seed = sc.Seed + int64(i)
+		r, err := Run(trial)
+		if err != nil {
+			return Stats{}, fmt.Errorf("trial %d: %w", i, err)
+		}
+		results[i] = r
+	}
+	return aggregate(results), nil
+}
+
+func aggregate(results []Result) Stats {
+	n := float64(len(results))
+	var sumD, sumM, sumDisc float64
+	for _, r := range results {
+		sumD += r.Delay.Seconds()
+		sumM += float64(r.Messages)
+		sumDisc += float64(r.Discarded)
+	}
+	meanD, meanM := sumD/n, sumM/n
+	var varD, varM float64
+	for _, r := range results {
+		dd := r.Delay.Seconds() - meanD
+		dm := float64(r.Messages) - meanM
+		varD += dd * dd
+		varM += dm * dm
+	}
+	varD /= n
+	varM /= n
+	return Stats{
+		N:            len(results),
+		MeanDelay:    time.Duration(meanD * float64(time.Second)),
+		StdDelay:     time.Duration(math.Sqrt(varD) * float64(time.Second)),
+		MeanMessages: meanM,
+		StdMessages:  math.Sqrt(varM),
+		MeanDiscard:  sumDisc / n,
+		Results:      results,
+	}
+}

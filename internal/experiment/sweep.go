@@ -1,0 +1,120 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+)
+
+// Metric selects the quantity a sweep plots.
+type Metric int
+
+// Sweep metrics.
+const (
+	// MetricDelay plots mean convergence delay in seconds.
+	MetricDelay Metric = iota + 1
+	// MetricMessages plots the mean number of generated update messages.
+	MetricMessages
+)
+
+// String names the metric for axis labels.
+func (m Metric) String() string {
+	switch m {
+	case MetricDelay:
+		return "convergence delay (s)"
+	case MetricMessages:
+		return "update messages"
+	default:
+		return fmt.Sprintf("metric(%d)", int(m))
+	}
+}
+
+// value extracts the metric from aggregated stats.
+func (m Metric) value(st Stats) float64 {
+	switch m {
+	case MetricMessages:
+		return st.MeanMessages
+	default:
+		return st.MeanDelay.Seconds()
+	}
+}
+
+// Cell produces the scenario for series index si at sweep coordinate x.
+// Sweeps fix the seed per (si, x) cell deterministically; Cell
+// implementations should leave Scenario.Seed as the base seed.
+type Cell func(si int, x float64) Scenario
+
+// SweepConfig controls a sweep run.
+type SweepConfig struct {
+	// SeriesNames label the curves, one per series index.
+	SeriesNames []string
+	// Xs are the sweep coordinates (shared by all series).
+	Xs []float64
+	// Cell builds each scenario.
+	Cell Cell
+	// Trials is the replication count per cell (>= 1).
+	Trials int
+	// Metric selects the y value.
+	Metric Metric
+	// SameWorldAcrossSeries gives every series the same per-x seed so
+	// all schemes face identical topologies and failures (paired
+	// comparison, lower variance — the paper's methodology). Default on
+	// via Sweep().
+	SameWorldAcrossSeries bool
+	// Progress, when set, is called after each completed cell.
+	Progress func(done, total int)
+}
+
+// Sweep runs a grid of scenarios and assembles a Figure. Each cell is
+// replicated Trials times; the per-cell seed is derived from the base
+// scenario seed, the x index, and (unless SameWorldAcrossSeries) the
+// series index.
+func Sweep(cfg SweepConfig) (Figure, error) {
+	if len(cfg.SeriesNames) == 0 || len(cfg.Xs) == 0 {
+		return Figure{}, fmt.Errorf("experiment: empty sweep")
+	}
+	if cfg.Trials < 1 {
+		cfg.Trials = 1
+	}
+	if cfg.Metric == 0 {
+		cfg.Metric = MetricDelay
+	}
+	total := len(cfg.SeriesNames) * len(cfg.Xs)
+	done := 0
+	fig := Figure{YLabel: cfg.Metric.String()}
+	for si, name := range cfg.SeriesNames {
+		series := Series{Name: name}
+		for xi, x := range cfg.Xs {
+			sc := cfg.Cell(si, x)
+			// Derive a distinct seed per cell. Trials then step by +1, so
+			// cells are spaced far apart to avoid overlap.
+			offset := int64(xi) * 1000
+			if !cfg.SameWorldAcrossSeries {
+				offset += int64(si) * 1_000_000
+			}
+			sc.Seed += offset
+			st, err := RunTrials(sc, cfg.Trials)
+			if err != nil {
+				return Figure{}, fmt.Errorf("series %q x=%v: %w", name, x, err)
+			}
+			series.Points = append(series.Points, Point{X: x, Y: cfg.Metric.value(st)})
+			done++
+			if cfg.Progress != nil {
+				cfg.Progress(done, total)
+			}
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	return fig, nil
+}
+
+// FailureSizesPct is the failure-size axis the paper sweeps (percent of
+// routers, 1–20%).
+var FailureSizesPct = []float64{1, 2.5, 5, 10, 15, 20}
+
+// MRAISweepSeconds is the MRAI axis used for the V-curve figures.
+var MRAISweepSeconds = []float64{0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0, 2.25, 3.0, 4.0}
+
+// SecondsToDuration converts a sweep coordinate in seconds.
+func SecondsToDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}

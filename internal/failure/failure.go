@@ -1,0 +1,171 @@
+// Package failure selects which routers a large-scale failure destroys.
+// The paper's default is a contiguous geographic failure: all routers in
+// a region around the grid center fail together ("many failure scenarios
+// ... are expected to be geographically concentrated"). Random scattered
+// failures and edge-of-grid failures are provided for comparison.
+package failure
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"bgpsim/internal/des"
+	"bgpsim/internal/topology"
+)
+
+// Kind names a failure model.
+type Kind string
+
+// Failure models.
+const (
+	// KindGeographic fails the k routers nearest to a point (default the
+	// grid center), i.e. a growing contiguous disc. The paper's model.
+	KindGeographic Kind = "geographic"
+	// KindEdge fails the k routers nearest to a grid corner, for the
+	// edge-effect comparison mentioned in Section 3.1.
+	KindEdge Kind = "edge"
+	// KindRandom fails k routers chosen uniformly at random.
+	KindRandom Kind = "random"
+)
+
+// Kinds lists the supported failure models.
+func Kinds() []Kind { return []Kind{KindGeographic, KindEdge, KindRandom} }
+
+// Spec selects a failure. Exactly one of Fraction (of all routers) or
+// Count must be positive.
+type Spec struct {
+	Kind     Kind            `json:"kind"`
+	Fraction float64         `json:"fraction,omitempty"`
+	Count    int             `json:"count,omitempty"`
+	Center   *topology.Point `json:"center,omitempty"` // geographic only; default grid center
+}
+
+// Geographic returns the paper's default failure at the given fraction.
+func Geographic(fraction float64) Spec {
+	return Spec{Kind: KindGeographic, Fraction: fraction}
+}
+
+// Validate checks the spec.
+func (s Spec) Validate() error {
+	switch s.Kind {
+	case KindGeographic, KindEdge, KindRandom:
+	default:
+		return fmt.Errorf("failure: unknown kind %q", s.Kind)
+	}
+	if (s.Fraction <= 0) == (s.Count <= 0) {
+		return fmt.Errorf("failure: exactly one of Fraction or Count must be set")
+	}
+	if s.Fraction < 0 || s.Fraction > 1 {
+		return fmt.Errorf("failure: fraction %v outside (0,1]", s.Fraction)
+	}
+	return nil
+}
+
+// CountFor resolves the spec to a node count for a network of n routers.
+// A positive fraction rounds to the nearest node with a minimum of one.
+func (s Spec) CountFor(n int) int {
+	if s.Count > 0 {
+		if s.Count > n {
+			return n
+		}
+		return s.Count
+	}
+	k := int(math.Round(s.Fraction * float64(n)))
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// SelectLinks returns links (node-ID pairs) for a link-only failure:
+// the spec's Count/Fraction is interpreted against the link count. For
+// KindGeographic and KindEdge the links with midpoints nearest the
+// anchor point are cut; KindRandom cuts uniformly random links.
+func SelectLinks(nw *topology.Network, s Spec, rng *des.RNG) ([][2]int, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	links := nw.Links()
+	k := s.CountFor(len(links))
+	switch s.Kind {
+	case KindRandom:
+		perm := rng.Perm(len(links))
+		out := make([][2]int, 0, k)
+		for _, idx := range perm[:k] {
+			out = append(out, [2]int{links[idx].A, links[idx].B})
+		}
+		sortLinks(out)
+		return out, nil
+	default:
+		anchor := topology.GridCenter(nw)
+		if s.Kind == KindEdge {
+			anchor = topology.Point{X: 0, Y: 0}
+		}
+		if s.Center != nil {
+			anchor = *s.Center
+		}
+		type linkDist struct {
+			l [2]int
+			d float64
+		}
+		ds := make([]linkDist, 0, len(links))
+		for _, l := range links {
+			pa, pb := nw.Node(l.A).Pos, nw.Node(l.B).Pos
+			mid := topology.Point{X: (pa.X + pb.X) / 2, Y: (pa.Y + pb.Y) / 2}
+			ds = append(ds, linkDist{l: [2]int{l.A, l.B}, d: mid.Dist(anchor)})
+		}
+		sort.Slice(ds, func(i, j int) bool {
+			if ds[i].d != ds[j].d {
+				return ds[i].d < ds[j].d
+			}
+			if ds[i].l[0] != ds[j].l[0] {
+				return ds[i].l[0] < ds[j].l[0]
+			}
+			return ds[i].l[1] < ds[j].l[1]
+		})
+		out := make([][2]int, 0, k)
+		for _, ld := range ds[:k] {
+			out = append(out, ld.l)
+		}
+		sortLinks(out)
+		return out, nil
+	}
+}
+
+func sortLinks(ls [][2]int) {
+	sort.Slice(ls, func(i, j int) bool {
+		if ls[i][0] != ls[j][0] {
+			return ls[i][0] < ls[j][0]
+		}
+		return ls[i][1] < ls[j][1]
+	})
+}
+
+// Select returns the sorted IDs of the routers the failure kills.
+// rng is consumed only by KindRandom.
+func Select(nw *topology.Network, s Spec, rng *des.RNG) ([]int, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	k := s.CountFor(nw.NumNodes())
+	var out []int
+	switch s.Kind {
+	case KindGeographic:
+		center := topology.GridCenter(nw)
+		if s.Center != nil {
+			center = *s.Center
+		}
+		out = topology.NearestNodes(nw, center, k, nil)
+	case KindEdge:
+		out = topology.NearestNodes(nw, topology.Point{X: 0, Y: 0}, k, nil)
+	case KindRandom:
+		perm := rng.Perm(nw.NumNodes())
+		out = append(out, perm[:k]...)
+	}
+	sort.Ints(out)
+	return out, nil
+}

@@ -1,0 +1,83 @@
+package mrai
+
+import (
+	"testing"
+	"time"
+)
+
+func TestOraclePolicyUsesInitialThenSetValue(t *testing.T) {
+	p := Oracle(500 * time.Millisecond)(8)
+	if got := p.MRAI(Snapshot{UnfinishedWork: time.Hour}); got != 500*time.Millisecond {
+		t.Errorf("initial MRAI = %v (load must be ignored)", got)
+	}
+	s, ok := p.(Settable)
+	if !ok {
+		t.Fatal("oracle policy not Settable")
+	}
+	s.Set(2250 * time.Millisecond)
+	if got := p.MRAI(Snapshot{}); got != 2250*time.Millisecond {
+		t.Errorf("MRAI after Set = %v", got)
+	}
+}
+
+func TestOracleInstancesIndependent(t *testing.T) {
+	f := Oracle(time.Second)
+	a, b := f(3), f(8)
+	a.(Settable).Set(5 * time.Second)
+	if got := b.MRAI(Snapshot{}); got != time.Second {
+		t.Errorf("b's MRAI = %v; a's Set leaked", got)
+	}
+}
+
+func TestStepTableLookup(t *testing.T) {
+	table := StepTable([]Step{
+		{Frac: 0.025, MRAI: 500 * time.Millisecond},
+		{Frac: 0.075, MRAI: 1250 * time.Millisecond},
+		{Frac: 1.0, MRAI: 2250 * time.Millisecond},
+	})
+	cases := []struct {
+		frac float64
+		want time.Duration
+	}{
+		{0.0, 500 * time.Millisecond},
+		{0.025, 500 * time.Millisecond},
+		{0.03, 1250 * time.Millisecond},
+		{0.075, 1250 * time.Millisecond},
+		{0.20, 2250 * time.Millisecond},
+		{1.5, 2250 * time.Millisecond}, // beyond the table
+	}
+	for _, c := range cases {
+		if got := table(c.frac); got != c.want {
+			t.Errorf("table(%v) = %v, want %v", c.frac, got, c.want)
+		}
+	}
+}
+
+func TestStepTableValidation(t *testing.T) {
+	for _, steps := range [][]Step{
+		nil,
+		{{Frac: 0.5, MRAI: time.Second}, {Frac: 0.1, MRAI: time.Second}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("invalid table %v accepted", steps)
+				}
+			}()
+			StepTable(steps)
+		}()
+	}
+}
+
+func TestPaperOracleTable(t *testing.T) {
+	table := PaperOracleTable()
+	if got := table(0.01); got != 500*time.Millisecond {
+		t.Errorf("1%% -> %v", got)
+	}
+	if got := table(0.05); got != 1250*time.Millisecond {
+		t.Errorf("5%% -> %v", got)
+	}
+	if got := table(0.20); got != 2250*time.Millisecond {
+		t.Errorf("20%% -> %v", got)
+	}
+}

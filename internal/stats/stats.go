@@ -1,0 +1,200 @@
+// Package stats provides the small numerical toolkit the experiment
+// analysis uses: moments, percentiles, empirical CDFs, and fixed-width
+// time-bucket series. Everything operates on float64 slices and never
+// mutates its inputs.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean; zero for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation; zero for fewer than
+// two samples.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// Min returns the smallest value; zero for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest value; zero for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using linear
+// interpolation between order statistics; zero for an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// CDF is an empirical cumulative distribution function.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from samples.
+func NewCDF(xs []float64) CDF {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return CDF{sorted: sorted}
+}
+
+// At returns P(X <= x) in [0, 1]; zero for an empty CDF.
+func (c CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	// First index with sorted[i] > x.
+	idx := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(idx) / float64(len(c.sorted))
+}
+
+// Quantile returns the smallest sample x with P(X <= x) >= q; zero for
+// an empty CDF. q outside [0,1] is clamped.
+func (c CDF) Quantile(q float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return c.sorted[0]
+	}
+	if q > 1 {
+		q = 1
+	}
+	// The epsilon guards against q*n landing one ULP above an integer
+	// when q came from an (idx/n)-style computation.
+	idx := int(math.Ceil(q*float64(len(c.sorted))-1e-9)) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(c.sorted) {
+		idx = len(c.sorted) - 1
+	}
+	return c.sorted[idx]
+}
+
+// Len returns the sample count.
+func (c CDF) Len() int { return len(c.sorted) }
+
+// Series is a fixed-width-bucket time series: Values[i] aggregates the
+// half-open interval [i*Width, (i+1)*Width) of the x axis.
+type Series struct {
+	Width  float64
+	Values []float64
+}
+
+// NewSeries buckets (x, weight) samples into width-sized bins starting
+// at zero. Negative x values are dropped. It returns an error for a
+// non-positive width.
+func NewSeries(width float64, xs, weights []float64) (Series, error) {
+	if width <= 0 {
+		return Series{}, fmt.Errorf("stats: bucket width %v", width)
+	}
+	if len(weights) != 0 && len(weights) != len(xs) {
+		return Series{}, fmt.Errorf("stats: %d weights for %d samples", len(weights), len(xs))
+	}
+	s := Series{Width: width}
+	for i, x := range xs {
+		if x < 0 {
+			continue
+		}
+		idx := int(x / width)
+		for len(s.Values) <= idx {
+			s.Values = append(s.Values, 0)
+		}
+		w := 1.0
+		if len(weights) != 0 {
+			w = weights[i]
+		}
+		s.Values[idx] += w
+	}
+	return s, nil
+}
+
+// PeakIndex returns the index of the largest bucket (-1 when empty).
+func (s Series) PeakIndex() int {
+	best, bestV := -1, math.Inf(-1)
+	for i, v := range s.Values {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+// Total returns the sum over all buckets.
+func (s Series) Total() float64 {
+	sum := 0.0
+	for _, v := range s.Values {
+		sum += v
+	}
+	return sum
+}

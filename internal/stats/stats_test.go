@@ -1,0 +1,234 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMeanAndStdDev(t *testing.T) {
+	if Mean(nil) != 0 || StdDev(nil) != 0 {
+		t.Error("empty-slice moments nonzero")
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if !almostEq(Mean(xs), 5) {
+		t.Errorf("Mean = %v", Mean(xs))
+	}
+	if !almostEq(StdDev(xs), 2) {
+		t.Errorf("StdDev = %v", StdDev(xs))
+	}
+	if StdDev([]float64{3}) != 0 {
+		t.Error("single-sample stddev nonzero")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Errorf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Error("empty Min/Max nonzero")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {-5, 1}, {150, 5},
+		{10, 1.4}, // interpolated
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almostEq(got, c.want) {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile nonzero")
+	}
+	if Percentile([]float64{9}, 70) != 9 {
+		t.Error("single-sample percentile wrong")
+	}
+	if Median(xs) != 3 {
+		t.Error("median wrong")
+	}
+	// Input must not be mutated.
+	shuffled := []float64{5, 1, 4, 2, 3}
+	Percentile(shuffled, 50)
+	if shuffled[0] != 5 {
+		t.Error("Percentile mutated input")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 3})
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2, 0.75}, {2.5, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, cse := range cases {
+		if got := c.At(cse.x); !almostEq(got, cse.want) {
+			t.Errorf("At(%v) = %v, want %v", cse.x, got, cse.want)
+		}
+	}
+	if c.Len() != 4 {
+		t.Error("Len wrong")
+	}
+	empty := NewCDF(nil)
+	if empty.At(5) != 0 || empty.Quantile(0.5) != 0 {
+		t.Error("empty CDF nonzero")
+	}
+}
+
+func TestCDFQuantile(t *testing.T) {
+	c := NewCDF([]float64{10, 20, 30, 40})
+	cases := []struct{ q, want float64 }{
+		{0, 10}, {0.25, 10}, {0.26, 20}, {0.5, 20}, {0.75, 30}, {1, 40}, {2, 40},
+	}
+	for _, cse := range cases {
+		if got := c.Quantile(cse.q); !almostEq(got, cse.want) {
+			t.Errorf("Quantile(%v) = %v, want %v", cse.q, got, cse.want)
+		}
+	}
+}
+
+func TestNewSeries(t *testing.T) {
+	s, err := NewSeries(10, []float64{0, 5, 15, 15, 35, -3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 2, 0, 1}
+	if len(s.Values) != len(want) {
+		t.Fatalf("values = %v", s.Values)
+	}
+	for i, w := range want {
+		if s.Values[i] != w {
+			t.Errorf("bucket %d = %v, want %v", i, s.Values[i], w)
+		}
+	}
+	if s.Total() != 5 {
+		t.Errorf("Total = %v (negative x must be dropped)", s.Total())
+	}
+	if s.PeakIndex() != 0 {
+		t.Errorf("PeakIndex = %d", s.PeakIndex())
+	}
+}
+
+func TestNewSeriesWeighted(t *testing.T) {
+	s, err := NewSeries(1, []float64{0.5, 1.5}, []float64{3, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Values[0] != 3 || s.Values[1] != 7 {
+		t.Errorf("values = %v", s.Values)
+	}
+	if s.PeakIndex() != 1 {
+		t.Errorf("PeakIndex = %d", s.PeakIndex())
+	}
+}
+
+func TestNewSeriesValidation(t *testing.T) {
+	if _, err := NewSeries(0, []float64{1}, nil); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := NewSeries(1, []float64{1, 2}, []float64{1}); err == nil {
+		t.Error("mismatched weights accepted")
+	}
+}
+
+func TestEmptySeries(t *testing.T) {
+	s, err := NewSeries(1, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.PeakIndex() != -1 || s.Total() != 0 {
+		t.Error("empty series stats wrong")
+	}
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestPropertyPercentileMonotone(t *testing.T) {
+	f := func(raw []uint16, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		p1, p2 := float64(a%101), float64(b%101)
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		v1, v2 := Percentile(xs, p1), Percentile(xs, p2)
+		return v1 <= v2 && v1 >= Min(xs) && v2 <= Max(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the CDF is a valid distribution function — monotone, 0 below
+// the min, 1 at and above the max — and Quantile inverts At.
+func TestPropertyCDFMonotone(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		c := NewCDF(xs)
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		if c.At(sorted[0]-1) != 0 {
+			return false
+		}
+		if c.At(sorted[len(sorted)-1]) != 1 {
+			return false
+		}
+		prev := 0.0
+		for _, x := range sorted {
+			cur := c.At(x)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		// Quantile(At(x)) <= x for every sample x.
+		for _, x := range sorted {
+			if c.Quantile(c.At(x)) > x {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: series buckets conserve the total sample count.
+func TestPropertySeriesConservation(t *testing.T) {
+	f := func(raw []uint16) bool {
+		xs := make([]float64, len(raw))
+		nonNeg := 0
+		for i, r := range raw {
+			xs[i] = float64(r) - 100 // some negatives
+			if xs[i] >= 0 {
+				nonNeg++
+			}
+		}
+		s, err := NewSeries(7, xs, nil)
+		if err != nil {
+			return false
+		}
+		return almostEq(s.Total(), float64(nonNeg))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,369 @@
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"bgpsim/internal/des"
+)
+
+// SkewedSpec describes a two-class ("skewed") degree distribution: a
+// fraction of low-degree nodes with degrees drawn uniformly from
+// [LowMin, LowMax], and the rest high-degree nodes with degrees from
+// {HighMin, ..., HighMax} mixed to hit TargetAvg when TargetAvg > 0.
+//
+// This is the paper's primary topology family: "70% of the nodes had low
+// degree and the remaining 30% had higher degree."
+type SkewedSpec struct {
+	N         int
+	FracLow   float64
+	LowMin    int
+	LowMax    int
+	HighMin   int
+	HighMax   int
+	TargetAvg float64
+}
+
+// Validate checks the spec for internal consistency.
+func (s SkewedSpec) Validate() error {
+	switch {
+	case s.N < 2:
+		return fmt.Errorf("topology: skewed N=%d, need >= 2", s.N)
+	case s.FracLow < 0 || s.FracLow > 1:
+		return fmt.Errorf("topology: skewed FracLow=%v outside [0,1]", s.FracLow)
+	case s.LowMin < 1 || s.LowMax < s.LowMin:
+		return fmt.Errorf("topology: skewed low range [%d,%d] invalid", s.LowMin, s.LowMax)
+	case s.HighMin < 1 || s.HighMax < s.HighMin:
+		return fmt.Errorf("topology: skewed high range [%d,%d] invalid", s.HighMin, s.HighMax)
+	case s.HighMax >= s.N:
+		return fmt.Errorf("topology: skewed HighMax=%d >= N=%d", s.HighMax, s.N)
+	}
+	return nil
+}
+
+// The paper's four skewed presets, all on the 1000×1000 grid. Average
+// degrees: 3.8 for the first three, 7.6 for the dense variant.
+
+// Skewed7030 is the paper's default: 70% of nodes with degree 1–3,
+// 30% with degree 8 (average 3.8).
+func Skewed7030(n int) SkewedSpec {
+	return SkewedSpec{N: n, FracLow: 0.70, LowMin: 1, LowMax: 3, HighMin: 8, HighMax: 8, TargetAvg: 3.8}
+}
+
+// Skewed5050 is 50% degree 1–3, 50% degree 5 or 6 (average 3.8).
+func Skewed5050(n int) SkewedSpec {
+	return SkewedSpec{N: n, FracLow: 0.50, LowMin: 1, LowMax: 3, HighMin: 5, HighMax: 6, TargetAvg: 3.8}
+}
+
+// Skewed8515 is 85% degree 1–3, 15% degree 14 (average 3.8).
+func Skewed8515(n int) SkewedSpec {
+	return SkewedSpec{N: n, FracLow: 0.85, LowMin: 1, LowMax: 3, HighMin: 14, HighMax: 14, TargetAvg: 3.8}
+}
+
+// Skewed5050Dense is 50% degree 1–3, 50% degree 13 or 14 (average 7.6),
+// the higher-average-degree topology of Fig 5.
+func Skewed5050Dense(n int) SkewedSpec {
+	return SkewedSpec{N: n, FracLow: 0.50, LowMin: 1, LowMax: 3, HighMin: 13, HighMax: 14, TargetAvg: 7.6}
+}
+
+// Degrees draws a degree sequence from the spec. The sum is forced even so
+// a graph realization exists.
+func (s SkewedSpec) Degrees(rng *des.RNG) ([]int, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	nLow := int(math.Round(float64(s.N) * s.FracLow))
+	if nLow > s.N {
+		nLow = s.N
+	}
+	nHigh := s.N - nLow
+	degrees := make([]int, 0, s.N)
+	lowSum := 0
+	for i := 0; i < nLow; i++ {
+		d := s.LowMin + rng.Intn(s.LowMax-s.LowMin+1)
+		degrees = append(degrees, d)
+		lowSum += d
+	}
+	// Pick the high-class mix. With TargetAvg set, choose the fraction of
+	// HighMax draws so the expected overall average matches.
+	pHigh := 0.5
+	if s.TargetAvg > 0 && nHigh > 0 && s.HighMax > s.HighMin {
+		lowMean := float64(s.LowMin+s.LowMax) / 2
+		needHighMean := (s.TargetAvg*float64(s.N) - lowMean*float64(nLow)) / float64(nHigh)
+		pHigh = (needHighMean - float64(s.HighMin)) / float64(s.HighMax-s.HighMin)
+		pHigh = math.Max(0, math.Min(1, pHigh))
+	}
+	for i := 0; i < nHigh; i++ {
+		d := s.HighMin
+		if s.HighMax > s.HighMin && rng.Float64() < pHigh {
+			d = s.HighMax
+		}
+		degrees = append(degrees, d)
+		_ = lowSum
+	}
+	evenizeDegrees(degrees)
+	return degrees, nil
+}
+
+// evenizeDegrees bumps one entry so the degree sum is even.
+func evenizeDegrees(degrees []int) {
+	sum := 0
+	for _, d := range degrees {
+		sum += d
+	}
+	if sum%2 == 1 {
+		degrees[0]++
+	}
+}
+
+// PowerLawDegrees draws n degrees from a bounded discrete power law
+// P(d) ∝ d^-gamma for d in [min, max].
+func PowerLawDegrees(n int, gamma float64, min, max int, rng *des.RNG) ([]int, error) {
+	if n < 2 || min < 1 || max < min || gamma <= 0 {
+		return nil, fmt.Errorf("topology: power law params n=%d gamma=%v range [%d,%d]", n, gamma, min, max)
+	}
+	// Build the CDF once.
+	weights := make([]float64, max-min+1)
+	total := 0.0
+	for d := min; d <= max; d++ {
+		w := math.Pow(float64(d), -gamma)
+		weights[d-min] = w
+		total += w
+	}
+	degrees := make([]int, n)
+	for i := range degrees {
+		u := rng.Float64() * total
+		acc := 0.0
+		degrees[i] = max
+		for d := min; d <= max; d++ {
+			acc += weights[d-min]
+			if u < acc {
+				degrees[i] = d
+				break
+			}
+		}
+	}
+	evenizeDegrees(degrees)
+	return degrees, nil
+}
+
+// PowerLawGammaForAvg solves (by bisection) for the exponent gamma such
+// that a bounded power law on [min, max] has the requested mean degree.
+func PowerLawGammaForAvg(avg float64, min, max int) (float64, error) {
+	if avg <= float64(min) || avg >= float64(max) {
+		return 0, fmt.Errorf("topology: target avg %v outside (%d,%d)", avg, min, max)
+	}
+	mean := func(gamma float64) float64 {
+		num, den := 0.0, 0.0
+		for d := min; d <= max; d++ {
+			w := math.Pow(float64(d), -gamma)
+			num += float64(d) * w
+			den += w
+		}
+		return num / den
+	}
+	lo, hi := 0.01, 10.0 // mean(lo) ≈ uniform-high, mean(hi) ≈ min
+	for i := 0; i < 100; i++ {
+		mid := (lo + hi) / 2
+		if mean(mid) > avg {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// InternetLikeDegrees draws a degree sequence shaped like the measured
+// Internet AS connectivity the paper cites: heavy-tailed, capped at
+// maxDegree (the paper uses 40 for 120-node networks), with the exponent
+// chosen to hit avgDegree (the paper reports ≈3.4).
+func InternetLikeDegrees(n int, avgDegree float64, maxDegree int, rng *des.RNG) ([]int, error) {
+	gamma, err := PowerLawGammaForAvg(avgDegree, 1, maxDegree)
+	if err != nil {
+		return nil, err
+	}
+	return PowerLawDegrees(n, gamma, 1, maxDegree, rng)
+}
+
+// ErrDegreeSequence is returned when a degree sequence cannot be realized
+// as a simple graph even after rewiring.
+var ErrDegreeSequence = errors.New("topology: degree sequence not realizable")
+
+// FromDegreeSequence realizes a degree sequence as a simple connected
+// graph using the configuration model with edge-swap repair:
+//
+//  1. pair random stubs; retry pairings that would create self-loops or
+//     duplicate links via degree-preserving edge swaps;
+//  2. merge connected components with degree-preserving double swaps.
+//
+// If a handful of stubs cannot be placed the corresponding degrees fall
+// short by one — the same tolerance BRITE exhibits — but the result is
+// always simple and connected.
+func FromDegreeSequence(degrees []int, rng *des.RNG) (*Network, error) {
+	n := len(degrees)
+	if n < 2 {
+		return nil, fmt.Errorf("topology: need >= 2 nodes, got %d", n)
+	}
+	sum := 0
+	for i, d := range degrees {
+		if d < 0 || d >= n {
+			return nil, fmt.Errorf("topology: degree %d at node %d out of range", d, i)
+		}
+		sum += d
+	}
+	if sum%2 == 1 {
+		return nil, fmt.Errorf("topology: odd degree sum %d", sum)
+	}
+
+	nw := NewNetwork(n)
+	stubs := make([]int, 0, sum)
+	for i, d := range degrees {
+		for k := 0; k < d; k++ {
+			stubs = append(stubs, i)
+		}
+	}
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+
+	var deferred [][2]int
+	for i := 0; i+1 < len(stubs); i += 2 {
+		a, b := stubs[i], stubs[i+1]
+		if a == b || nw.HasLink(a, b) {
+			deferred = append(deferred, [2]int{a, b})
+			continue
+		}
+		if err := nw.AddLink(a, b, false); err != nil {
+			return nil, err
+		}
+	}
+	// Resolve deferred pairs by swapping with a random existing link:
+	// (a,b) bad + existing (c,d) -> (a,c) and (b,d).
+	for _, pair := range deferred {
+		if !trySwapIn(nw, pair[0], pair[1], rng) {
+			// Unplaceable stub pair: tolerate a degree deficit of one at
+			// each endpoint rather than failing the whole build.
+			continue
+		}
+	}
+	if err := Connect(nw, rng); err != nil {
+		return nil, err
+	}
+	return nw, nil
+}
+
+// trySwapIn inserts the stub pair (a,b) by swapping with random existing
+// links, preserving all degrees. Returns false after bounded attempts.
+func trySwapIn(nw *Network, a, b int, rng *des.RNG) bool {
+	links := nw.Links()
+	if len(links) == 0 {
+		return false
+	}
+	for attempt := 0; attempt < 200; attempt++ {
+		l := links[rng.Intn(len(links))]
+		c, d := l.A, l.B
+		if rng.Intn(2) == 0 {
+			c, d = d, c
+		}
+		if a == c || a == d || b == c || b == d {
+			continue
+		}
+		if nw.HasLink(a, c) || nw.HasLink(b, d) || !nw.HasLink(c, d) {
+			continue
+		}
+		nw.RemoveLink(c, d)
+		mustAdd(nw, a, c, false)
+		mustAdd(nw, b, d, false)
+		return true
+	}
+	return false
+}
+
+func mustAdd(nw *Network, a, b int, internal bool) {
+	if err := nw.AddLink(a, b, internal); err != nil {
+		panic(fmt.Sprintf("topology: internal error adding checked link: %v", err))
+	}
+}
+
+// Connect merges the components of nw into one using degree-preserving
+// double edge swaps where possible, falling back to adding a single link
+// for edgeless components (degree deviation of one).
+func Connect(nw *Network, rng *des.RNG) error {
+	for guard := 0; guard < nw.NumNodes()+10; guard++ {
+		comps := nw.Components()
+		if len(comps) <= 1 {
+			return nil
+		}
+		main, other := comps[0], comps[1]
+		if !mergeComponents(nw, main, other, rng) {
+			return ErrDegreeSequence
+		}
+	}
+	if !nw.Connected() {
+		return ErrDegreeSequence
+	}
+	return nil
+}
+
+// mergeComponents joins other into main. It prefers the degree-preserving
+// swap (a,b)+(c,d) -> (a,c)+(b,d) with (a,b) in main and (c,d) in other;
+// if other has no links (isolated node), it adds one link.
+func mergeComponents(nw *Network, main, other []int, rng *des.RNG) bool {
+	mainLinks := linksWithin(nw, main)
+	otherLinks := linksWithin(nw, other)
+	if len(otherLinks) == 0 || len(mainLinks) == 0 {
+		// Isolated node or edgeless component: attach it directly.
+		a := other[rng.Intn(len(other))]
+		for attempt := 0; attempt < 50; attempt++ {
+			b := main[rng.Intn(len(main))]
+			if !nw.HasLink(a, b) {
+				mustAdd(nw, a, b, false)
+				return true
+			}
+		}
+		return false
+	}
+	for attempt := 0; attempt < 200; attempt++ {
+		l1 := mainLinks[rng.Intn(len(mainLinks))]
+		l2 := otherLinks[rng.Intn(len(otherLinks))]
+		a, b, c, d := l1.A, l1.B, l2.A, l2.B
+		if nw.HasLink(a, c) || nw.HasLink(b, d) {
+			continue
+		}
+		nw.RemoveLink(a, b)
+		nw.RemoveLink(c, d)
+		mustAdd(nw, a, c, false)
+		mustAdd(nw, b, d, false)
+		return true
+	}
+	return false
+}
+
+func linksWithin(nw *Network, comp []int) []Neighbor2 {
+	in := make(map[int]struct{}, len(comp))
+	for _, v := range comp {
+		in[v] = struct{}{}
+	}
+	var out []Neighbor2
+	for _, v := range comp {
+		for _, nb := range nw.Neighbors(v) {
+			if v < nb.ID {
+				if _, ok := in[nb.ID]; ok {
+					out = append(out, Neighbor2{A: v, B: nb.ID, Internal: nb.Internal})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// SortedDegrees returns the degree sequence of nw in descending order.
+func SortedDegrees(nw *Network) []int {
+	out := make([]int, nw.NumNodes())
+	for i := range out {
+		out[i] = nw.Degree(i)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out
+}

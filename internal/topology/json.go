@@ -1,0 +1,47 @@
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// fileFormat is the on-disk JSON representation of a Network.
+type fileFormat struct {
+	Grid  float64     `json:"grid"`
+	Nodes []Node      `json:"nodes"`
+	Links []Neighbor2 `json:"links"`
+}
+
+// WriteJSON serializes the network.
+func (nw *Network) WriteJSON(w io.Writer) error {
+	ff := fileFormat{Grid: nw.grid, Nodes: nw.nodes, Links: nw.Links()}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(ff)
+}
+
+// ReadJSON deserializes a network written by WriteJSON.
+func ReadJSON(r io.Reader) (*Network, error) {
+	var ff fileFormat
+	if err := json.NewDecoder(r).Decode(&ff); err != nil {
+		return nil, fmt.Errorf("topology: decode: %w", err)
+	}
+	nw := NewNetwork(len(ff.Nodes))
+	if ff.Grid > 0 {
+		nw.SetGrid(ff.Grid)
+	}
+	for i, n := range ff.Nodes {
+		if n.ID != i {
+			return nil, fmt.Errorf("topology: node %d has id %d; ids must be dense and ordered", i, n.ID)
+		}
+		nw.SetAS(i, n.AS)
+		nw.SetPos(i, n.Pos)
+	}
+	for _, l := range ff.Links {
+		if err := nw.AddLink(l.A, l.B, l.Internal); err != nil {
+			return nil, err
+		}
+	}
+	return nw, nil
+}

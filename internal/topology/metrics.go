@@ -1,0 +1,140 @@
+package topology
+
+import "math"
+
+// GraphMetrics summarizes a network's structure — used by topogen -stats
+// and by tests validating that generated topologies have the shapes the
+// paper relies on.
+type GraphMetrics struct {
+	Nodes         int
+	Links         int
+	ASes          int
+	AvgDegree     float64
+	MaxDegree     int
+	Connected     bool
+	Clustering    float64 // mean local clustering coefficient
+	AvgPathLength float64 // mean shortest-path hops over connected pairs
+	Diameter      int     // max shortest-path hops (largest component)
+	Assortativity float64 // Pearson correlation of degrees across links
+	DegreeEntropy float64 // Shannon entropy of the degree distribution (bits)
+	ExternalLinks int
+	InternalLinks int
+}
+
+// Metrics computes the full summary. Cost is O(V·E) for the path terms;
+// fine at experiment scale (hundreds to a few thousand nodes).
+func Metrics(nw *Network) GraphMetrics {
+	m := GraphMetrics{
+		Nodes:     nw.NumNodes(),
+		Links:     nw.NumLinks(),
+		ASes:      nw.NumASes(),
+		AvgDegree: nw.AvgDegree(),
+		MaxDegree: nw.MaxDegree(),
+		Connected: nw.Connected(),
+	}
+	for _, l := range nw.Links() {
+		if l.Internal {
+			m.InternalLinks++
+		} else {
+			m.ExternalLinks++
+		}
+	}
+	m.Clustering = ClusteringCoefficient(nw)
+	m.AvgPathLength, m.Diameter = PathLengthStats(nw)
+	m.Assortativity = DegreeAssortativity(nw)
+	m.DegreeEntropy = DegreeEntropy(nw)
+	return m
+}
+
+// ClusteringCoefficient returns the mean local clustering coefficient:
+// for each node with degree >= 2, the fraction of neighbor pairs that
+// are themselves adjacent.
+func ClusteringCoefficient(nw *Network) float64 {
+	sum, counted := 0.0, 0
+	for v := 0; v < nw.NumNodes(); v++ {
+		nbs := nw.Neighbors(v)
+		if len(nbs) < 2 {
+			continue
+		}
+		links := 0
+		for i := 0; i < len(nbs); i++ {
+			for j := i + 1; j < len(nbs); j++ {
+				if nw.HasLink(nbs[i].ID, nbs[j].ID) {
+					links++
+				}
+			}
+		}
+		pairs := len(nbs) * (len(nbs) - 1) / 2
+		sum += float64(links) / float64(pairs)
+		counted++
+	}
+	if counted == 0 {
+		return 0
+	}
+	return sum / float64(counted)
+}
+
+// PathLengthStats returns the mean shortest-path hop count over all
+// connected ordered pairs and the diameter (max hops).
+func PathLengthStats(nw *Network) (avg float64, diameter int) {
+	total, pairs := 0, 0
+	for v := 0; v < nw.NumNodes(); v++ {
+		dist := nw.BFSHops(v, nil)
+		for w, d := range dist {
+			if w == v || d < 0 {
+				continue
+			}
+			total += d
+			pairs++
+			if d > diameter {
+				diameter = d
+			}
+		}
+	}
+	if pairs == 0 {
+		return 0, 0
+	}
+	return float64(total) / float64(pairs), diameter
+}
+
+// DegreeAssortativity returns the Pearson correlation coefficient of the
+// degrees at the two endpoints of each link (Newman's r). Negative values
+// mean hubs attach to low-degree nodes — the Internet's signature.
+func DegreeAssortativity(nw *Network) float64 {
+	links := nw.Links()
+	if len(links) == 0 {
+		return 0
+	}
+	// Each undirected link contributes both orientations.
+	n := float64(2 * len(links))
+	var sumXY, sumX, sumX2 float64
+	for _, l := range links {
+		da, db := float64(nw.Degree(l.A)), float64(nw.Degree(l.B))
+		sumXY += 2 * da * db
+		sumX += da + db
+		sumX2 += da*da + db*db
+	}
+	meanX := sumX / n
+	varX := sumX2/n - meanX*meanX
+	if varX == 0 {
+		return 0
+	}
+	cov := sumXY/n - meanX*meanX
+	return cov / varX
+}
+
+// DegreeEntropy returns the Shannon entropy (bits) of the degree
+// distribution; higher means more degree diversity.
+func DegreeEntropy(nw *Network) float64 {
+	if nw.NumNodes() == 0 {
+		return 0
+	}
+	hist := nw.DegreeHistogram()
+	total := float64(nw.NumNodes())
+	h := 0.0
+	for _, count := range hist {
+		p := float64(count) / total
+		h -= p * math.Log2(p)
+	}
+	return h
+}

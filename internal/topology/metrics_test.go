@@ -1,0 +1,175 @@
+package topology
+
+import (
+	"math"
+	"testing"
+
+	"bgpsim/internal/des"
+)
+
+func triangle(t *testing.T) *Network {
+	t.Helper()
+	nw := NewNetwork(3)
+	for _, l := range [][2]int{{0, 1}, {1, 2}, {2, 0}} {
+		if err := nw.AddLink(l[0], l[1], false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return nw
+}
+
+func TestClusteringCoefficient(t *testing.T) {
+	// Triangle: fully clustered.
+	if got := ClusteringCoefficient(triangle(t)); got != 1 {
+		t.Errorf("triangle clustering = %v, want 1", got)
+	}
+	// Star: no neighbor of the hub is adjacent to another.
+	star := NewNetwork(4)
+	for i := 1; i < 4; i++ {
+		_ = star.AddLink(0, i, false)
+	}
+	if got := ClusteringCoefficient(star); got != 0 {
+		t.Errorf("star clustering = %v, want 0", got)
+	}
+	// Triangle plus a pendant: node 0 has neighbors {1,2,3}; only the
+	// 1-2 pair of its three neighbor pairs is linked -> local c = 1/3.
+	// Nodes 1,2 keep c=1, node 3 has degree 1 (skipped).
+	tp := triangle(t)
+	// grow
+	tp2 := NewNetwork(4)
+	for _, l := range tp.Links() {
+		_ = tp2.AddLink(l.A, l.B, false)
+	}
+	_ = tp2.AddLink(0, 3, false)
+	want := (1.0/3 + 1 + 1) / 3
+	if got := ClusteringCoefficient(tp2); math.Abs(got-want) > 1e-12 {
+		t.Errorf("clustering = %v, want %v", got, want)
+	}
+	if got := ClusteringCoefficient(NewNetwork(2)); got != 0 {
+		t.Errorf("edgeless clustering = %v", got)
+	}
+}
+
+func TestPathLengthStats(t *testing.T) {
+	// Path 0-1-2: distances 1,1,2 (each direction) -> avg 4/3, diameter 2.
+	nw := NewNetwork(3)
+	_ = nw.AddLink(0, 1, false)
+	_ = nw.AddLink(1, 2, false)
+	avg, diam := PathLengthStats(nw)
+	if math.Abs(avg-4.0/3) > 1e-12 {
+		t.Errorf("avg = %v, want 4/3", avg)
+	}
+	if diam != 2 {
+		t.Errorf("diameter = %d, want 2", diam)
+	}
+	// Disconnected pairs are excluded.
+	nw2 := NewNetwork(4)
+	_ = nw2.AddLink(0, 1, false)
+	_ = nw2.AddLink(2, 3, false)
+	avg, diam = PathLengthStats(nw2)
+	if avg != 1 || diam != 1 {
+		t.Errorf("disconnected stats = %v/%d, want 1/1", avg, diam)
+	}
+	if avg, diam := PathLengthStats(NewNetwork(3)); avg != 0 || diam != 0 {
+		t.Error("empty-graph stats nonzero")
+	}
+}
+
+func TestDegreeAssortativity(t *testing.T) {
+	// A star is maximally disassortative (hub-leaf only).
+	star := NewNetwork(5)
+	for i := 1; i < 5; i++ {
+		_ = star.AddLink(0, i, false)
+	}
+	if got := DegreeAssortativity(star); got >= 0 {
+		t.Errorf("star assortativity = %v, want negative", got)
+	}
+	// A cycle is degree-regular: zero variance -> defined as 0.
+	ring := NewNetwork(4)
+	for i := 0; i < 4; i++ {
+		_ = ring.AddLink(i, (i+1)%4, false)
+	}
+	if got := DegreeAssortativity(ring); got != 0 {
+		t.Errorf("ring assortativity = %v, want 0", got)
+	}
+	if got := DegreeAssortativity(NewNetwork(3)); got != 0 {
+		t.Errorf("empty assortativity = %v", got)
+	}
+}
+
+func TestDegreeEntropy(t *testing.T) {
+	// Regular graph: single degree value -> zero entropy.
+	ring := NewNetwork(4)
+	for i := 0; i < 4; i++ {
+		_ = ring.AddLink(i, (i+1)%4, false)
+	}
+	if got := DegreeEntropy(ring); got != 0 {
+		t.Errorf("ring entropy = %v", got)
+	}
+	// Half degree-1, half degree-3: entropy 1 bit.
+	nw := NewNetwork(4)
+	_ = nw.AddLink(0, 1, false)
+	_ = nw.AddLink(0, 2, false)
+	_ = nw.AddLink(0, 3, false)
+	_ = nw.AddLink(1, 2, false)
+	_ = nw.AddLink(1, 3, false)
+	_ = nw.AddLink(2, 3, false)
+	// K4 is regular; use a different construction: star of 3 + isolated-ish
+	st := NewNetwork(4)
+	_ = st.AddLink(0, 1, false)
+	_ = st.AddLink(0, 2, false)
+	_ = st.AddLink(0, 3, false)
+	// degrees: 3,1,1,1 -> p(3)=1/4, p(1)=3/4
+	want := -(0.25*math.Log2(0.25) + 0.75*math.Log2(0.75))
+	if got := DegreeEntropy(st); math.Abs(got-want) > 1e-12 {
+		t.Errorf("entropy = %v, want %v", got, want)
+	}
+	if got := DegreeEntropy(NewNetwork(0)); got != 0 {
+		t.Error("empty entropy nonzero")
+	}
+}
+
+func TestMetricsOnPaperTopology(t *testing.T) {
+	rng := des.NewRNG(5)
+	nw, err := SkewedNetwork(Skewed7030(120), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Metrics(nw)
+	if m.Nodes != 120 || !m.Connected {
+		t.Fatalf("basic metrics wrong: %+v", m)
+	}
+	if m.AvgDegree < 3.3 || m.AvgDegree > 4.3 {
+		t.Errorf("avg degree = %v", m.AvgDegree)
+	}
+	// Skewed two-class topologies are disassortative: hubs soak up leaves.
+	if m.Assortativity >= 0 {
+		t.Errorf("assortativity = %v, want negative (hub-leaf structure)", m.Assortativity)
+	}
+	if m.AvgPathLength <= 1 || m.Diameter < 3 {
+		t.Errorf("path stats implausible: avg=%v diam=%d", m.AvgPathLength, m.Diameter)
+	}
+	if m.DegreeEntropy <= 0 {
+		t.Errorf("entropy = %v", m.DegreeEntropy)
+	}
+	if m.ExternalLinks != m.Links || m.InternalLinks != 0 {
+		t.Errorf("link classification wrong: %+v", m)
+	}
+}
+
+func TestMetricsCountsInternalLinks(t *testing.T) {
+	rng := des.NewRNG(7)
+	spec := DefaultRealistic(15)
+	spec.MaxASSize = 4
+	nw, err := Realistic(spec, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Metrics(nw)
+	if m.InternalLinks == 0 {
+		t.Error("realistic topology reported no IBGP links")
+	}
+	if m.InternalLinks+m.ExternalLinks != m.Links {
+		t.Error("link partition does not sum")
+	}
+}

@@ -1,0 +1,111 @@
+package topology
+
+import (
+	"sort"
+
+	"bgpsim/internal/des"
+)
+
+// PlaceUniform scatters every node uniformly at random on the grid, the
+// placement scheme the paper uses ("We randomly placed all the routers on
+// a 1000x1000 grid").
+func PlaceUniform(nw *Network, rng *des.RNG) {
+	g := nw.Grid()
+	for i := 0; i < nw.NumNodes(); i++ {
+		nw.SetPos(i, Point{X: rng.Float64() * g, Y: rng.Float64() * g})
+	}
+}
+
+// PlaceClustered scatters nodes around k uniformly placed cluster centers
+// with the given Gaussian-ish spread, for non-uniform location-density
+// experiments (the paper's earlier work examined these).
+func PlaceClustered(nw *Network, k int, spread float64, rng *des.RNG) {
+	if k < 1 {
+		k = 1
+	}
+	g := nw.Grid()
+	centers := make([]Point, k)
+	for i := range centers {
+		centers[i] = Point{X: rng.Float64() * g, Y: rng.Float64() * g}
+	}
+	for i := 0; i < nw.NumNodes(); i++ {
+		c := centers[rng.Intn(k)]
+		p := Point{
+			X: clamp(c.X+gauss(rng)*spread, 0, g),
+			Y: clamp(c.Y+gauss(rng)*spread, 0, g),
+		}
+		nw.SetPos(i, p)
+	}
+}
+
+// PlaceInSquare scatters the listed nodes uniformly in the axis-aligned
+// square of side length centered at c, clipped to the grid. Used to give
+// each AS a geographic extent proportional to its size.
+func PlaceInSquare(nw *Network, nodes []int, c Point, side float64, rng *des.RNG) {
+	g := nw.Grid()
+	half := side / 2
+	for _, id := range nodes {
+		p := Point{
+			X: clamp(c.X+(rng.Float64()-0.5)*2*half, 0, g),
+			Y: clamp(c.Y+(rng.Float64()-0.5)*2*half, 0, g),
+		}
+		nw.SetPos(id, p)
+	}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// gauss returns an approximately standard-normal draw (Irwin–Hall sum of
+// 12 uniforms); exactness is irrelevant for placement.
+func gauss(rng *des.RNG) float64 {
+	s := 0.0
+	for i := 0; i < 12; i++ {
+		s += rng.Float64()
+	}
+	return s - 6
+}
+
+// GridCenter returns the center point of the placement grid.
+func GridCenter(nw *Network) Point {
+	return Point{X: nw.Grid() / 2, Y: nw.Grid() / 2}
+}
+
+type nodeDist struct {
+	id int
+	d  float64
+}
+
+// NearestNodes returns the ids of the k nodes nearest to p (Euclidean),
+// restricted to alive nodes when alive is non-nil. Ties break by node ID
+// so results are deterministic.
+func NearestNodes(nw *Network, p Point, k int, alive []bool) []int {
+	cands := make([]nodeDist, 0, nw.NumNodes())
+	for i := 0; i < nw.NumNodes(); i++ {
+		if alive != nil && !alive[i] {
+			continue
+		}
+		cands = append(cands, nodeDist{id: i, d: nw.Node(i).Pos.Dist(p)})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].d != cands[j].d {
+			return cands[i].d < cands[j].d
+		}
+		return cands[i].id < cands[j].id
+	})
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = cands[i].id
+	}
+	return out
+}

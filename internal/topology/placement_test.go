@@ -1,0 +1,114 @@
+package topology
+
+import (
+	"testing"
+
+	"bgpsim/internal/des"
+)
+
+func TestPlaceUniformWithinGrid(t *testing.T) {
+	nw := NewNetwork(200)
+	PlaceUniform(nw, des.NewRNG(1))
+	g := nw.Grid()
+	for i := 0; i < nw.NumNodes(); i++ {
+		p := nw.Node(i).Pos
+		if p.X < 0 || p.X > g || p.Y < 0 || p.Y > g {
+			t.Fatalf("node %d at %v outside grid", i, p)
+		}
+	}
+}
+
+func TestPlaceClusteredStaysOnGridAndClusters(t *testing.T) {
+	nw := NewNetwork(300)
+	PlaceClustered(nw, 3, 50, des.NewRNG(2))
+	g := nw.Grid()
+	for i := 0; i < nw.NumNodes(); i++ {
+		p := nw.Node(i).Pos
+		if p.X < 0 || p.X > g || p.Y < 0 || p.Y > g {
+			t.Fatalf("node %d at %v outside grid", i, p)
+		}
+	}
+	// Clustered placement concentrates mass: the mean pairwise distance
+	// must be clearly below the uniform expectation (~0.52 * grid).
+	uniform := NewNetwork(300)
+	PlaceUniform(uniform, des.NewRNG(2))
+	if c, u := meanPairDist(nw), meanPairDist(uniform); c >= u {
+		t.Errorf("clustered mean pair distance %.1f >= uniform %.1f", c, u)
+	}
+	// k < 1 is clamped, not a crash.
+	PlaceClustered(nw, 0, 50, des.NewRNG(3))
+}
+
+func meanPairDist(nw *Network) float64 {
+	sum, n := 0.0, 0
+	for i := 0; i < nw.NumNodes(); i += 7 {
+		for j := i + 1; j < nw.NumNodes(); j += 7 {
+			sum += nw.Node(i).Pos.Dist(nw.Node(j).Pos)
+			n++
+		}
+	}
+	return sum / float64(n)
+}
+
+func TestGridCenter(t *testing.T) {
+	nw := NewNetwork(1)
+	c := GridCenter(nw)
+	if c.X != DefaultGrid/2 || c.Y != DefaultGrid/2 {
+		t.Errorf("center = %v", c)
+	}
+	nw.SetGrid(400)
+	if c := GridCenter(nw); c.X != 200 || c.Y != 200 {
+		t.Errorf("center after SetGrid = %v", c)
+	}
+}
+
+func TestNearestNodesOrderingAndFilter(t *testing.T) {
+	nw := NewNetwork(4)
+	nw.SetPos(0, Point{X: 0, Y: 0})
+	nw.SetPos(1, Point{X: 10, Y: 0})
+	nw.SetPos(2, Point{X: 20, Y: 0})
+	nw.SetPos(3, Point{X: 30, Y: 0})
+	got := NearestNodes(nw, Point{X: 0, Y: 0}, 2, nil)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("nearest = %v", got)
+	}
+	// Alive filter skips dead nodes.
+	alive := []bool{false, true, true, true}
+	got = NearestNodes(nw, Point{X: 0, Y: 0}, 2, alive)
+	if got[0] != 1 || got[1] != 2 {
+		t.Errorf("filtered nearest = %v", got)
+	}
+	// k beyond the population clamps.
+	if got := NearestNodes(nw, Point{}, 99, alive); len(got) != 3 {
+		t.Errorf("clamped = %v", got)
+	}
+}
+
+func TestNearestNodesTieBreaksByID(t *testing.T) {
+	nw := NewNetwork(3)
+	for i := 0; i < 3; i++ {
+		nw.SetPos(i, Point{X: 5, Y: 5}) // identical positions
+	}
+	got := NearestNodes(nw, Point{X: 5, Y: 5}, 3, nil)
+	for i, id := range got {
+		if id != i {
+			t.Fatalf("tie-break not by id: %v", got)
+		}
+	}
+}
+
+func TestPlaceInSquareClipsToGrid(t *testing.T) {
+	nw := NewNetwork(50)
+	ids := make([]int, 50)
+	for i := range ids {
+		ids[i] = i
+	}
+	// Square centered at the corner: placements must clip at 0.
+	PlaceInSquare(nw, ids, Point{X: 0, Y: 0}, 400, des.NewRNG(4))
+	for _, id := range ids {
+		p := nw.Node(id).Pos
+		if p.X < 0 || p.Y < 0 || p.X > 200 || p.Y > 200 {
+			t.Fatalf("node %d at %v outside clipped corner square", id, p)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package topology
+
+import (
+	"fmt"
+
+	"bgpsim/internal/des"
+)
+
+// Kind names a topology family.
+type Kind string
+
+// Topology families.
+const (
+	KindSkewed7030      Kind = "skewed-70-30"
+	KindSkewed5050      Kind = "skewed-50-50"
+	KindSkewed8515      Kind = "skewed-85-15"
+	KindSkewed5050Dense Kind = "skewed-50-50-dense"
+	KindInternetLike    Kind = "internet-like"
+	KindWaxman          Kind = "waxman"
+	KindBarabasiAlbert  Kind = "barabasi-albert"
+	KindGLP             Kind = "glp"
+	KindRealistic       Kind = "realistic"
+)
+
+// Kinds lists every supported topology family.
+func Kinds() []Kind {
+	return []Kind{
+		KindSkewed7030, KindSkewed5050, KindSkewed8515, KindSkewed5050Dense,
+		KindInternetLike, KindWaxman, KindBarabasiAlbert, KindGLP, KindRealistic,
+	}
+}
+
+// Spec selects and parameterizes a topology family. Zero-valued optional
+// fields take family defaults.
+type Spec struct {
+	Kind Kind `json:"kind"`
+	// N is the node count for AS-level families and the AS count for the
+	// realistic family.
+	N int `json:"n"`
+
+	// Waxman parameters.
+	WaxmanAlpha float64 `json:"waxmanAlpha,omitempty"`
+	WaxmanBeta  float64 `json:"waxmanBeta,omitempty"`
+	// Barabási–Albert / GLP parameters.
+	M       int     `json:"m,omitempty"`
+	GLPP    float64 `json:"glpP,omitempty"`
+	GLPBeta float64 `json:"glpBeta,omitempty"`
+	// Internet-like parameters.
+	AvgDegree float64 `json:"avgDegree,omitempty"`
+	MaxDegree int     `json:"maxDegree,omitempty"`
+	// Realistic parameters.
+	MaxASSize int     `json:"maxASSize,omitempty"`
+	MinASSize int     `json:"minASSize,omitempty"`
+	SizeAlpha float64 `json:"sizeAlpha,omitempty"`
+	// Custom skewed spec; used when Kind is empty and Skewed is non-nil.
+	Skewed *SkewedSpec `json:"skewed,omitempty"`
+}
+
+// Build constructs a network from the spec using the supplied stream.
+func (s Spec) Build(rng *des.RNG) (*Network, error) {
+	if s.Skewed != nil {
+		sk := *s.Skewed
+		if sk.N == 0 {
+			sk.N = s.N
+		}
+		return SkewedNetwork(sk, rng)
+	}
+	switch s.Kind {
+	case KindSkewed7030:
+		return SkewedNetwork(Skewed7030(s.N), rng)
+	case KindSkewed5050:
+		return SkewedNetwork(Skewed5050(s.N), rng)
+	case KindSkewed8515:
+		return SkewedNetwork(Skewed8515(s.N), rng)
+	case KindSkewed5050Dense:
+		return SkewedNetwork(Skewed5050Dense(s.N), rng)
+	case KindInternetLike:
+		avg, maxD := s.AvgDegree, s.MaxDegree
+		if avg == 0 {
+			avg = 3.4
+		}
+		if maxD == 0 {
+			maxD = 40
+		}
+		return InternetLikeNetwork(s.N, avg, maxD, rng)
+	case KindWaxman:
+		alpha, beta := s.WaxmanAlpha, s.WaxmanBeta
+		if alpha == 0 {
+			alpha = 0.15
+		}
+		if beta == 0 {
+			beta = 0.2
+		}
+		return Waxman(WaxmanSpec{N: s.N, Alpha: alpha, Beta: beta}, rng)
+	case KindBarabasiAlbert:
+		m := s.M
+		if m == 0 {
+			m = 2
+		}
+		return BarabasiAlbert(BarabasiAlbertSpec{N: s.N, M: m}, rng)
+	case KindGLP:
+		m, p, beta := s.M, s.GLPP, s.GLPBeta
+		if m == 0 {
+			m = 1
+		}
+		if p == 0 {
+			p = 0.45
+		}
+		if beta == 0 {
+			beta = 0.64
+		}
+		return GLP(GLPSpec{N: s.N, M: m, P: p, Beta: beta}, rng)
+	case KindRealistic:
+		spec := DefaultRealistic(s.N)
+		if s.AvgDegree != 0 {
+			spec.AvgDegree = s.AvgDegree
+		}
+		if s.MaxDegree != 0 {
+			spec.MaxDegree = s.MaxDegree
+		}
+		if s.MaxASSize != 0 {
+			spec.MaxASSize = s.MaxASSize
+		}
+		if s.MinASSize != 0 {
+			spec.MinASSize = s.MinASSize
+		}
+		if s.SizeAlpha != 0 {
+			spec.SizeAlpha = s.SizeAlpha
+		}
+		return Realistic(spec, rng)
+	default:
+		return nil, fmt.Errorf("topology: unknown kind %q", s.Kind)
+	}
+}

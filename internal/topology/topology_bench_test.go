@@ -1,0 +1,79 @@
+package topology
+
+import (
+	"testing"
+
+	"bgpsim/internal/des"
+)
+
+func BenchmarkSkewed7030_120(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rng := des.NewRNG(int64(i + 1))
+		if _, err := SkewedNetwork(Skewed7030(120), rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInternetLike_120(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rng := des.NewRNG(int64(i + 1))
+		if _, err := InternetLikeNetwork(120, 3.4, 40, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRealistic120AS(b *testing.B) {
+	spec := DefaultRealistic(120)
+	spec.MaxASSize = 20
+	for i := 0; i < b.N; i++ {
+		rng := des.NewRNG(int64(i + 1))
+		if _, err := Realistic(spec, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWaxman200(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rng := des.NewRNG(int64(i + 1))
+		if _, err := Waxman(WaxmanSpec{N: 200, Alpha: 0.15, Beta: 0.2}, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBarabasiAlbert200(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rng := des.NewRNG(int64(i + 1))
+		if _, err := BarabasiAlbert(BarabasiAlbertSpec{N: 200, M: 2}, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBFSHops(b *testing.B) {
+	rng := des.NewRNG(1)
+	nw, err := SkewedNetwork(Skewed7030(120), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = nw.BFSHops(i%nw.NumNodes(), nil)
+	}
+}
+
+func BenchmarkNearestNodes(b *testing.B) {
+	rng := des.NewRNG(1)
+	nw, err := SkewedNetwork(Skewed7030(120), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	center := GridCenter(nw)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = NearestNodes(nw, center, 24, nil)
+	}
+}

@@ -1,0 +1,216 @@
+// Package trace is the simulator's structured event log. A Tracer
+// receives every protocol-level event (sends, receives, decision
+// changes, timer restarts, failures); the Recorder implementation stores
+// them for inspection and the Writer implementation streams a readable
+// log. Tracing is off by default — the simulator calls through a nil-safe
+// façade so the hot path pays one branch when disabled.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind classifies an event.
+type Kind int
+
+// Event kinds.
+const (
+	// KindSend is a route-level update leaving a router.
+	KindSend Kind = iota + 1
+	// KindReceive is an update entering a router's input queue.
+	KindReceive
+	// KindProcess is the completion of a processing work unit.
+	KindProcess
+	// KindRouteChange is a Loc-RIB change.
+	KindRouteChange
+	// KindTimerRestart is a per-peer MRAI timer restart.
+	KindTimerRestart
+	// KindNodeFailure is a router death.
+	KindNodeFailure
+	// KindSessionDown is a surviving router detecting a dead peer.
+	KindSessionDown
+	// KindNodeRecovery is a router coming back.
+	KindNodeRecovery
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindSend:
+		return "send"
+	case KindReceive:
+		return "recv"
+	case KindProcess:
+		return "proc"
+	case KindRouteChange:
+		return "route"
+	case KindTimerRestart:
+		return "timer"
+	case KindNodeFailure:
+		return "fail"
+	case KindSessionDown:
+		return "session-down"
+	case KindNodeRecovery:
+		return "recover"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one simulator occurrence.
+type Event struct {
+	At   time.Duration
+	Kind Kind
+	// Node is the router the event happened at.
+	Node int
+	// Peer is the other endpoint for send/receive/session events (-1
+	// when not applicable).
+	Peer int
+	// Dest is the destination prefix (-1 when not applicable).
+	Dest int
+	// Withdrawal marks send/receive of a withdrawal.
+	Withdrawal bool
+	// Value carries kind-specific data: the new MRAI for timer restarts,
+	// the batch size for process events, the new path length for route
+	// changes (-1 = route lost).
+	Value int
+}
+
+// String formats the event as one log line.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%12s %-12s node=%d", e.At, e.Kind, e.Node)
+	if e.Peer >= 0 {
+		fmt.Fprintf(&b, " peer=%d", e.Peer)
+	}
+	if e.Dest >= 0 {
+		fmt.Fprintf(&b, " dest=%d", e.Dest)
+	}
+	if e.Withdrawal {
+		b.WriteString(" withdrawal")
+	}
+	switch e.Kind {
+	case KindTimerRestart:
+		fmt.Fprintf(&b, " mrai=%s", time.Duration(e.Value))
+	case KindProcess:
+		fmt.Fprintf(&b, " batch=%d", e.Value)
+	case KindRouteChange:
+		fmt.Fprintf(&b, " pathlen=%d", e.Value)
+	}
+	return b.String()
+}
+
+// Tracer receives events. Implementations must be cheap; the simulator
+// may deliver millions of events per run.
+type Tracer interface {
+	Trace(e Event)
+}
+
+// Recorder stores every event in memory. Safe for concurrent use.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+	// Filter, when non-zero, restricts recording to one kind.
+	Filter Kind
+	// MaxEvents bounds memory; once reached, further events are dropped
+	// and Truncated is set. Zero means unbounded.
+	MaxEvents int
+	truncated bool
+}
+
+var _ Tracer = (*Recorder)(nil)
+
+// Trace stores the event, honoring Filter and MaxEvents.
+func (r *Recorder) Trace(e Event) {
+	if r.Filter != 0 && e.Kind != r.Filter {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.MaxEvents > 0 && len(r.events) >= r.MaxEvents {
+		r.truncated = true
+		return
+	}
+	r.events = append(r.events, e)
+}
+
+// Events returns a copy of the recorded events in order.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Truncated reports whether events were dropped due to MaxEvents.
+func (r *Recorder) Truncated() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.truncated
+}
+
+// Reset clears the recorder.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = nil
+	r.truncated = false
+}
+
+// CountByKind tallies recorded events per kind.
+func (r *Recorder) CountByKind() map[Kind]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[Kind]int)
+	for _, e := range r.events {
+		out[e.Kind]++
+	}
+	return out
+}
+
+// Writer streams each event as a line to an io.Writer.
+type Writer struct {
+	W io.Writer
+	// Filter, when non-zero, restricts output to one kind.
+	Filter Kind
+}
+
+var _ Tracer = (*Writer)(nil)
+
+// Trace writes the event; write errors are ignored (tracing is
+// best-effort diagnostics).
+func (w *Writer) Trace(e Event) {
+	if w.Filter != 0 && e.Kind != w.Filter {
+		return
+	}
+	fmt.Fprintln(w.W, e.String())
+}
+
+// Multi fans events out to several tracers.
+func Multi(tracers ...Tracer) Tracer {
+	list := make([]Tracer, 0, len(tracers))
+	for _, t := range tracers {
+		if t != nil {
+			list = append(list, t)
+		}
+	}
+	return multiTracer(list)
+}
+
+type multiTracer []Tracer
+
+func (m multiTracer) Trace(e Event) {
+	for _, t := range m {
+		t.Trace(e)
+	}
+}

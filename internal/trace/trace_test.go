@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func ev(k Kind) Event {
+	return Event{At: time.Second, Kind: k, Node: 1, Peer: 2, Dest: 3}
+}
+
+func TestRecorderStoresInOrder(t *testing.T) {
+	r := &Recorder{}
+	r.Trace(ev(KindSend))
+	r.Trace(ev(KindReceive))
+	r.Trace(ev(KindProcess))
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	events := r.Events()
+	if events[0].Kind != KindSend || events[2].Kind != KindProcess {
+		t.Error("order lost")
+	}
+	// Events() returns a copy.
+	events[0].Kind = KindNodeFailure
+	if r.Events()[0].Kind != KindSend {
+		t.Error("Events exposed internal slice")
+	}
+}
+
+func TestRecorderFilter(t *testing.T) {
+	r := &Recorder{Filter: KindRouteChange}
+	r.Trace(ev(KindSend))
+	r.Trace(ev(KindRouteChange))
+	r.Trace(ev(KindProcess))
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (filtered)", r.Len())
+	}
+	if r.Events()[0].Kind != KindRouteChange {
+		t.Error("wrong event kept")
+	}
+}
+
+func TestRecorderMaxEvents(t *testing.T) {
+	r := &Recorder{MaxEvents: 2}
+	for i := 0; i < 5; i++ {
+		r.Trace(ev(KindSend))
+	}
+	if r.Len() != 2 {
+		t.Errorf("Len = %d, want 2", r.Len())
+	}
+	if !r.Truncated() {
+		t.Error("Truncated not set")
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Truncated() {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestRecorderCountByKind(t *testing.T) {
+	r := &Recorder{}
+	r.Trace(ev(KindSend))
+	r.Trace(ev(KindSend))
+	r.Trace(ev(KindProcess))
+	counts := r.CountByKind()
+	if counts[KindSend] != 2 || counts[KindProcess] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestWriterFormatsLines(t *testing.T) {
+	var sb strings.Builder
+	w := &Writer{W: &sb}
+	w.Trace(Event{At: 2 * time.Second, Kind: KindSend, Node: 4, Peer: 7, Dest: 9, Withdrawal: true})
+	w.Trace(Event{At: 3 * time.Second, Kind: KindTimerRestart, Node: 4, Peer: -1, Dest: -1, Value: int(time.Second)})
+	out := sb.String()
+	for _, want := range []string{"send", "node=4", "peer=7", "dest=9", "withdrawal", "timer", "mrai=1s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Errorf("got %d lines", len(lines))
+	}
+}
+
+func TestWriterFilter(t *testing.T) {
+	var sb strings.Builder
+	w := &Writer{W: &sb, Filter: KindNodeFailure}
+	w.Trace(ev(KindSend))
+	if sb.Len() != 0 {
+		t.Error("filtered event written")
+	}
+	w.Trace(Event{Kind: KindNodeFailure, Node: 1, Peer: -1, Dest: -1})
+	if sb.Len() == 0 {
+		t.Error("matching event dropped")
+	}
+}
+
+func TestMultiFansOutAndSkipsNil(t *testing.T) {
+	a, b := &Recorder{}, &Recorder{}
+	m := Multi(a, nil, b)
+	m.Trace(ev(KindSend))
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Errorf("fan-out failed: %d, %d", a.Len(), b.Len())
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := []Kind{KindSend, KindReceive, KindProcess, KindRouteChange,
+		KindTimerRestart, KindNodeFailure, KindSessionDown, KindNodeRecovery}
+	seen := make(map[string]bool)
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Errorf("kind %d has bad/duplicate name %q", int(k), s)
+		}
+		seen[s] = true
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind empty")
+	}
+}
+
+func TestEventStringVariants(t *testing.T) {
+	e := Event{At: time.Second, Kind: KindProcess, Node: 1, Peer: -1, Dest: -1, Value: 7}
+	if !strings.Contains(e.String(), "batch=7") {
+		t.Error(e.String())
+	}
+	e = Event{At: time.Second, Kind: KindRouteChange, Node: 1, Peer: -1, Dest: 5, Value: -1}
+	if !strings.Contains(e.String(), "pathlen=-1") {
+		t.Error(e.String())
+	}
+	// Negative peer/dest are omitted.
+	if strings.Contains(e.String(), "peer=") {
+		t.Error("negative peer printed")
+	}
+}
