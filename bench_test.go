@@ -8,6 +8,7 @@
 package bgpsim_test
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -106,6 +107,29 @@ func BenchmarkScenarioDynamicMRAI(b *testing.B) {
 		Failure:  bgpsim.GeographicFailure(0.10),
 		Scheme:   bgpsim.DynamicMRAI(),
 	})
+}
+
+// BenchmarkSweepWorkers measures sweep wall-clock scaling with the
+// worker-pool size (fig3's grid at reduced scale). Figures are
+// byte-identical across worker counts, so the only difference between
+// sub-benchmarks is elapsed time; speedup tracks available cores.
+func BenchmarkSweepWorkers(b *testing.B) {
+	e, err := bgpsim.LookupExperiment("fig3")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := bgpsim.QuickOptions()
+			opts.Workers = workers
+			for i := 0; i < b.N; i++ {
+				opts.Seed = int64(1 + i)
+				if _, err := e.Run(opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 func BenchmarkScenarioRealisticIBGP(b *testing.B) {

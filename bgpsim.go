@@ -197,6 +197,13 @@ func Run(sc Scenario) (Result, error) { return experiment.Run(sc) }
 // RunTrials replicates a scenario n times over derived seeds.
 func RunTrials(sc Scenario, n int) (Stats, error) { return experiment.RunTrials(sc, n) }
 
+// RunTrialsParallel is RunTrials with the independent trials fanned out
+// over a bounded worker pool; workers <= 0 selects GOMAXPROCS. Results
+// are byte-identical to RunTrials for every worker count.
+func RunTrialsParallel(sc Scenario, n, workers int) (Stats, error) {
+	return experiment.RunTrialsParallel(sc, n, workers)
+}
+
 // NewSimulator builds the low-level simulator for a prebuilt network
 // (advanced use: custom flows, direct route-table inspection).
 func NewSimulator(net *Network, p Params) (*Simulator, error) { return bgp.New(net, p) }

@@ -5,6 +5,7 @@
 //	bgpfig -list
 //	bgpfig -fig 7                  # one figure at paper scale
 //	bgpfig -fig all -quick         # everything at reduced scale
+//	bgpfig -fig 3 -workers 8       # parallel sweep (same bytes as serial)
 //	bgpfig -fig 1 -nodes 60 -trials 2 -seed 7 -o out/
 //
 // Each figure is printed as an aligned text table (the same series the
@@ -14,9 +15,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 
 	"bgpsim"
 )
@@ -31,16 +34,17 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("bgpfig", flag.ContinueOnError)
 	var (
-		figID  = fs.String("fig", "all", "figure to regenerate: all, 1..13, or an ablation id")
-		list   = fs.Bool("list", false, "list available experiments and exit")
-		quick  = fs.Bool("quick", false, "reduced scale (60 nodes, 1 trial, coarse axes)")
-		nodes  = fs.Int("nodes", 0, "override node/AS count")
-		trials = fs.Int("trials", 0, "override trials per data point")
-		seed   = fs.Int64("seed", 0, "override base seed")
-		maxAS  = fs.Int("max-as-size", 0, "override fig13's routers-per-AS cap (paper: 100)")
-		outDir = fs.String("o", "", "also write each figure to <dir>/<id>.txt")
-		asJSON = fs.Bool("json", false, "with -o: additionally write <id>.json for plotting tools")
-		quiet  = fs.Bool("q", false, "suppress progress output")
+		figID   = fs.String("fig", "all", "figure to regenerate: all, 1..13, or an ablation id")
+		list    = fs.Bool("list", false, "list available experiments and exit")
+		quick   = fs.Bool("quick", false, "reduced scale (60 nodes, 1 trial, coarse axes)")
+		nodes   = fs.Int("nodes", 0, "override node/AS count")
+		trials  = fs.Int("trials", 0, "override trials per data point")
+		seed    = fs.Int64("seed", 0, "override base seed")
+		maxAS   = fs.Int("max-as-size", 0, "override fig13's routers-per-AS cap (paper: 100)")
+		workers = fs.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS, 1 = serial; same bytes either way)")
+		outDir  = fs.String("o", "", "also write each figure to <dir>/<id>.txt")
+		asJSON  = fs.Bool("json", false, "with -o: additionally write <id>.json for plotting tools")
+		quiet   = fs.Bool("q", false, "suppress progress output")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -69,6 +73,7 @@ func run(args []string) error {
 	if *maxAS > 0 {
 		opts.RealisticMaxASSize = *maxAS
 	}
+	opts.Workers = *workers
 
 	var exps []bgpsim.Experiment
 	if *figID == "all" {
@@ -84,12 +89,7 @@ func run(args []string) error {
 	for _, e := range exps {
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "== %s: %s\n", e.ID, e.Title)
-			opts.Progress = func(done, total int) {
-				fmt.Fprintf(os.Stderr, "\r   %d/%d cells", done, total)
-				if done == total {
-					fmt.Fprintln(os.Stderr)
-				}
-			}
+			opts.Progress = newProgressLine(os.Stderr).update
 		}
 		fig, err := e.Run(opts)
 		if err != nil {
@@ -121,4 +121,32 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// progressLine renders the "\r N/M cells" status line. The experiment
+// layer serializes Progress callbacks with monotonic done counts, but
+// cells complete out of order under parallel sweeps, so the printer
+// guards independently: a lock against concurrent callers and a
+// high-water mark so the rewritten line can never move backwards.
+type progressLine struct {
+	mu   sync.Mutex
+	w    io.Writer
+	last int
+}
+
+func newProgressLine(w io.Writer) *progressLine {
+	return &progressLine{w: w}
+}
+
+func (p *progressLine) update(done, total int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if done <= p.last {
+		return
+	}
+	p.last = done
+	fmt.Fprintf(p.w, "\r   %d/%d cells", done, total)
+	if done == total {
+		fmt.Fprintln(p.w)
+	}
 }

@@ -46,3 +46,40 @@ func TestBadFlagErrors(t *testing.T) {
 		t.Error("bad flag accepted")
 	}
 }
+
+func TestWorkersFlagProducesSameFigure(t *testing.T) {
+	serial, parallel := t.TempDir(), t.TempDir()
+	base := []string{"-fig", "1", "-quick", "-nodes", "24", "-trials", "1", "-q"}
+	if err := run(append(base, "-workers", "1", "-o", serial)); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(base, "-workers", "8", "-o", parallel)); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(filepath.Join(serial, "fig1.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(parallel, "fig1.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Errorf("-workers changed figure bytes:\n--- 1 ---\n%s--- 8 ---\n%s", a, b)
+	}
+}
+
+func TestProgressLineMonotonicSerialized(t *testing.T) {
+	var buf strings.Builder
+	p := newProgressLine(&buf)
+	p.update(1, 3)
+	p.update(1, 3) // duplicate: ignored
+	p.update(2, 3)
+	p.update(1, 3) // stale out-of-order update: ignored
+	p.update(3, 3)
+	got := buf.String()
+	want := "\r   1/3 cells\r   2/3 cells\r   3/3 cells\n"
+	if got != want {
+		t.Errorf("progress output = %q, want %q", got, want)
+	}
+}

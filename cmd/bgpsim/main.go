@@ -5,6 +5,7 @@
 //
 //	bgpsim -topo skewed-70-30 -nodes 120 -fail 5 -scheme mrai=0.5
 //	bgpsim -topo realistic -nodes 120 -fail 10 -scheme batch+dynamic -trials 5
+//	bgpsim -fail 10 -trials 8 -workers 4   # trials in parallel, same results
 //
 // Schemes: mrai=<seconds>, degree=<low>,<high>, dynamic, batch[=<seconds>],
 // batch+dynamic.
@@ -37,6 +38,7 @@ func run(args []string, out *os.File) error {
 		failPct  = fs.Float64("fail", 5, "failure size, percent of routers")
 		scheme   = fs.String("scheme", "mrai=30", "scheme: mrai=S | degree=L,H | dynamic | batch[=S] | batch+dynamic")
 		trials   = fs.Int("trials", 1, "replicated trials")
+		workers  = fs.Int("workers", 0, "trial worker pool size (0 = GOMAXPROCS, 1 = serial; same results either way)")
 		seed     = fs.Int64("seed", 1, "base seed")
 		prefixes = fs.Int("prefixes", 1, "prefixes originated per AS")
 		policy   = fs.Bool("policy", false, "enable Gao-Rexford policies (hierarchical relationships)")
@@ -58,7 +60,7 @@ func run(args []string, out *os.File) error {
 		PolicyHierarchical: *policy,
 		Seed:               *seed,
 	}
-	st, err := bgpsim.RunTrials(sc, *trials)
+	st, err := bgpsim.RunTrialsParallel(sc, *trials, *workers)
 	if err != nil {
 		return err
 	}

@@ -78,6 +78,7 @@ func ablationPolicy() Experiment {
 				Trials:                o.Trials,
 				Metric:                experiment.MetricDelay,
 				SameWorldAcrossSeries: true,
+				Workers:               o.Workers,
 				Progress:              o.Progress,
 				Cell: func(si int, x float64) experiment.Scenario {
 					sc := experiment.Scenario{

@@ -31,7 +31,13 @@ type Options struct {
 	// RealisticMaxASSize caps routers per AS for Fig 13 (paper: 100;
 	// smaller values keep IBGP meshes manageable).
 	RealisticMaxASSize int
-	// Progress, when set, receives per-cell completion callbacks.
+	// Workers bounds the worker pool each sweep fans its
+	// (series × x × trial) grid over: <= 0 selects GOMAXPROCS, 1 is
+	// fully serial. Figures are byte-identical for every worker count.
+	Workers int
+	// Progress, when set, receives per-cell completion callbacks. Calls
+	// are serialized with strictly increasing done counts (see
+	// experiment.SweepConfig.Progress).
 	Progress func(done, total int)
 }
 

@@ -22,6 +22,7 @@ func sweepBySize(o Options, topo topology.Spec, schemes []experiment.Scheme, met
 		Trials:                o.Trials,
 		Metric:                metric,
 		SameWorldAcrossSeries: true,
+		Workers:               o.Workers,
 		Progress:              o.Progress,
 		Cell: func(si int, x float64) experiment.Scenario {
 			return experiment.Scenario{
@@ -60,6 +61,7 @@ func sweepByMRAI(o Options, variants []mraiVariant) (experiment.Figure, error) {
 		Trials:                o.Trials,
 		Metric:                experiment.MetricDelay,
 		SameWorldAcrossSeries: false, // series differ in topology/failure anyway
+		Workers:               o.Workers,
 		Progress:              o.Progress,
 		Cell: func(si int, x float64) experiment.Scenario {
 			v := variants[si]

@@ -1,32 +1,41 @@
 package experiment
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
-// RunTrialsParallel is RunTrials with the independent trials fanned out
-// over a bounded worker pool. Results are identical to the serial
-// version (each trial is a self-contained simulation keyed by its own
-// seed, and aggregation consumes them in index order); only wall-clock
-// time changes. workers <= 0 selects GOMAXPROCS.
-func RunTrialsParallel(sc Scenario, n, workers int) (Stats, error) {
-	if n < 1 {
-		return Stats{}, fmt.Errorf("experiment: trials=%d", n)
-	}
+// errSkipped marks trials that were never started because an earlier
+// trial had already failed. It never escapes this package: callers see
+// only the first real error, reported in index order.
+var errSkipped = errors.New("experiment: trial skipped after earlier failure")
+
+// normalizeWorkers resolves a worker-count knob: <= 0 selects GOMAXPROCS.
+func normalizeWorkers(workers int) int {
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		return runtime.GOMAXPROCS(0)
 	}
+	return workers
+}
+
+// forEachIndex runs fn(i) for every i in [0, n) over a bounded pool of
+// worker goroutines and returns when all calls have finished. Indices are
+// dispatched in increasing order; with workers == 1 the calls run inline
+// on the calling goroutine, fully serially. fn is responsible for
+// synchronizing any shared state beyond its own index.
+func forEachIndex(n, workers int, fn func(i int)) {
 	if workers > n {
 		workers = n
 	}
-	if workers == 1 {
-		return RunTrials(sc, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
 	}
-
-	results := make([]Result, n)
-	errs := make([]error, n)
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -34,9 +43,7 @@ func RunTrialsParallel(sc Scenario, n, workers int) (Stats, error) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				trial := sc
-				trial.Seed = sc.Seed + int64(i)
-				results[i], errs[i] = Run(trial)
+				fn(i)
 			}
 		}()
 	}
@@ -45,11 +52,60 @@ func RunTrialsParallel(sc Scenario, n, workers int) (Stats, error) {
 	}
 	close(next)
 	wg.Wait()
+}
 
+// runTrialsInto executes the trials of sc (seeds trialSeed(Seed, 0..n-1))
+// over a pool of workers goroutines, storing each trial's result and
+// error at its index. It is the single implementation behind RunTrials,
+// RunTrialsParallel, and Sweep's per-cell execution, so the serial and
+// parallel paths cannot drift. Once a trial fails, trials that have not
+// yet started are skipped (marked errSkipped); in-flight ones finish.
+func runTrialsInto(sc Scenario, results []Result, errs []error, workers int, failed *atomic.Bool) {
+	forEachIndex(len(results), workers, func(i int) {
+		if failed.Load() {
+			errs[i] = errSkipped
+			return
+		}
+		trial := sc
+		trial.Seed = trialSeed(sc.Seed, i)
+		results[i], errs[i] = Run(trial)
+		if errs[i] != nil {
+			failed.Store(true)
+		}
+	})
+}
+
+// firstTrialError returns the first real (non-skip) error in index order.
+func firstTrialError(errs []error) (int, error) {
 	for i, err := range errs {
-		if err != nil {
-			return Stats{}, fmt.Errorf("trial %d: %w", i, err)
+		if err != nil && !errors.Is(err, errSkipped) {
+			return i, err
 		}
 	}
+	return -1, nil
+}
+
+// runTrials is the shared body of RunTrials and RunTrialsParallel.
+func runTrials(sc Scenario, n, workers int) (Stats, error) {
+	if n < 1 {
+		return Stats{}, fmt.Errorf("experiment: trials=%d", n)
+	}
+	results := make([]Result, n)
+	errs := make([]error, n)
+	var failed atomic.Bool
+	runTrialsInto(sc, results, errs, workers, &failed)
+	if i, err := firstTrialError(errs); err != nil {
+		return Stats{}, fmt.Errorf("trial %d: %w", i, err)
+	}
 	return aggregate(results), nil
+}
+
+// RunTrialsParallel is RunTrials with the independent trials fanned out
+// over a bounded worker pool. Results are byte-identical to the serial
+// version for every worker count (each trial is a self-contained
+// simulation keyed by its own seed, and aggregation consumes them in
+// index order); only wall-clock time changes. workers <= 0 selects
+// GOMAXPROCS.
+func RunTrialsParallel(sc Scenario, n, workers int) (Stats, error) {
+	return runTrials(sc, n, normalizeWorkers(workers))
 }

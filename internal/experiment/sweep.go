@@ -2,6 +2,8 @@ package experiment
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -60,14 +62,27 @@ type SweepConfig struct {
 	// comparison, lower variance — the paper's methodology). Default on
 	// via Sweep().
 	SameWorldAcrossSeries bool
-	// Progress, when set, is called after each completed cell.
+	// Workers bounds the pool that executes the (series × x × trial)
+	// grid: <= 0 selects GOMAXPROCS, 1 runs fully serially on the
+	// calling goroutine. The figure is byte-identical for every worker
+	// count — seeds are derived from grid indices alone and results are
+	// aggregated in index order — so only wall-clock time changes.
+	Workers int
+	// Progress, when set, is called after each completed cell. Calls are
+	// serialized (never concurrent) and done increases strictly
+	// monotonically even when cells complete out of order under a
+	// parallel sweep.
 	Progress func(done, total int)
 }
 
 // Sweep runs a grid of scenarios and assembles a Figure. Each cell is
 // replicated Trials times; the per-cell seed is derived from the base
 // scenario seed, the x index, and (unless SameWorldAcrossSeries) the
-// series index.
+// series index — see cellSeed. The whole (series × x × trial) grid is
+// fanned out over cfg.Workers goroutines at trial granularity, so one
+// slow cell cannot serialize the pool; results are aggregated in index
+// order, making the figure independent of worker count and completion
+// order.
 func Sweep(cfg SweepConfig) (Figure, error) {
 	if len(cfg.SeriesNames) == 0 || len(cfg.Xs) == 0 {
 		return Figure{}, fmt.Errorf("experiment: empty sweep")
@@ -75,32 +90,80 @@ func Sweep(cfg SweepConfig) (Figure, error) {
 	if cfg.Trials < 1 {
 		cfg.Trials = 1
 	}
+	// Reject grids that would overlap RNG streams across cells: trial
+	// seeds step +1 inside a cell, so a cell may hold at most seedStrideX
+	// trials, and the x axis must fit inside the series stride.
+	if cfg.Trials > seedStrideX {
+		return Figure{}, fmt.Errorf("experiment: %d trials per cell exceeds the cell seed stride %d; RNG streams would overlap across cells", cfg.Trials, seedStrideX)
+	}
+	if max := seedStrideSeries / seedStrideX; len(cfg.Xs) > max {
+		return Figure{}, fmt.Errorf("experiment: %d sweep points exceed the series seed stride (max %d); RNG streams would overlap across series", len(cfg.Xs), max)
+	}
 	if cfg.Metric == 0 {
 		cfg.Metric = MetricDelay
 	}
-	total := len(cfg.SeriesNames) * len(cfg.Xs)
-	done := 0
+	workers := normalizeWorkers(cfg.Workers)
+
+	// Materialize every cell's scenario up front on this goroutine, so
+	// the Cell callback never needs to be concurrency-safe.
+	nx := len(cfg.Xs)
+	total := len(cfg.SeriesNames) * nx
+	cells := make([]Scenario, total)
+	for si := range cfg.SeriesNames {
+		for xi, x := range cfg.Xs {
+			sc := cfg.Cell(si, x)
+			sc.Seed = cellSeed(sc.Seed, si, xi, cfg.SameWorldAcrossSeries)
+			cells[si*nx+xi] = sc
+		}
+	}
+
+	// One job per trial; job j is trial j%Trials of cell j/Trials.
+	results := make([]Result, total*cfg.Trials)
+	errs := make([]error, total*cfg.Trials)
+	var (
+		failed    atomic.Bool
+		mu        sync.Mutex // guards remaining, doneCells, Progress calls
+		doneCells int
+		remaining = make([]int, total)
+	)
+	for c := range remaining {
+		remaining[c] = cfg.Trials
+	}
+	forEachIndex(len(results), workers, func(j int) {
+		c := j / cfg.Trials
+		if failed.Load() {
+			errs[j] = errSkipped
+			return
+		}
+		trial := cells[c]
+		trial.Seed = trialSeed(trial.Seed, j%cfg.Trials)
+		results[j], errs[j] = Run(trial)
+		if errs[j] != nil {
+			failed.Store(true)
+			return
+		}
+		mu.Lock()
+		remaining[c]--
+		if remaining[c] == 0 {
+			doneCells++
+			if cfg.Progress != nil {
+				cfg.Progress(doneCells, total)
+			}
+		}
+		mu.Unlock()
+	})
+
 	fig := Figure{YLabel: cfg.Metric.String()}
 	for si, name := range cfg.SeriesNames {
 		series := Series{Name: name}
 		for xi, x := range cfg.Xs {
-			sc := cfg.Cell(si, x)
-			// Derive a distinct seed per cell. Trials then step by +1, so
-			// cells are spaced far apart to avoid overlap.
-			offset := int64(xi) * 1000
-			if !cfg.SameWorldAcrossSeries {
-				offset += int64(si) * 1_000_000
+			c := si*nx + xi
+			cellErrs := errs[c*cfg.Trials : (c+1)*cfg.Trials]
+			if i, err := firstTrialError(cellErrs); err != nil {
+				return Figure{}, fmt.Errorf("series %q x=%v: trial %d: %w", name, x, i, err)
 			}
-			sc.Seed += offset
-			st, err := RunTrials(sc, cfg.Trials)
-			if err != nil {
-				return Figure{}, fmt.Errorf("series %q x=%v: %w", name, x, err)
-			}
+			st := aggregate(results[c*cfg.Trials : (c+1)*cfg.Trials])
 			series.Points = append(series.Points, Point{X: x, Y: cfg.Metric.value(st)})
-			done++
-			if cfg.Progress != nil {
-				cfg.Progress(done, total)
-			}
 		}
 		fig.Series = append(fig.Series, series)
 	}

@@ -27,10 +27,15 @@ type Collector struct {
 	TotalMessages  int
 	TotalProcessed int
 
-	// Load statistics.
-	MaxQueueLen  int
-	perNodeSent  []int
-	routeChanges int
+	// Load statistics. MaxQueueLen is windowed like the counters above —
+	// OpenWindow resets it so the post-failure load statistic the
+	// dynamic-MRAI analysis reads is not contaminated by Phase-1
+	// (initial convergence) queue buildup. TotalMaxQueueLen keeps the
+	// whole-run high-water mark.
+	MaxQueueLen      int
+	TotalMaxQueueLen int
+	perNodeSent      []int
+	routeChanges     int
 }
 
 // NewCollector returns a collector for n routers.
@@ -47,6 +52,7 @@ func (c *Collector) OpenWindow(now time.Duration) {
 	c.Announcements, c.Withdrawals, c.Packets = 0, 0, 0
 	c.Processed, c.Discarded = 0, 0
 	c.routeChanges = 0
+	c.MaxQueueLen = 0
 	for i := range c.perNodeSent {
 		c.perNodeSent[i] = 0
 	}
@@ -105,8 +111,12 @@ func (c *Collector) NoteRouteChange(now time.Duration) {
 	}
 }
 
-// NoteQueueLen tracks the maximum observed input-queue length.
+// NoteQueueLen tracks the maximum observed input-queue length, both
+// within the current measurement window and across the whole run.
 func (c *Collector) NoteQueueLen(n int) {
+	if n > c.TotalMaxQueueLen {
+		c.TotalMaxQueueLen = n
+	}
 	if n > c.MaxQueueLen {
 		c.MaxQueueLen = n
 	}

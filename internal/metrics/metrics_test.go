@@ -100,4 +100,27 @@ func TestQueueLenHighWaterMark(t *testing.T) {
 	if c.MaxQueueLen != 9 {
 		t.Errorf("MaxQueueLen = %d", c.MaxQueueLen)
 	}
+	if c.TotalMaxQueueLen != 9 {
+		t.Errorf("TotalMaxQueueLen = %d", c.TotalMaxQueueLen)
+	}
+}
+
+func TestOpenWindowResetsMaxQueueLen(t *testing.T) {
+	// Regression: Phase-1 (initial convergence) queue buildup must not
+	// contaminate the post-failure load statistic. Before the fix,
+	// OpenWindow left MaxQueueLen at its pre-failure high-water mark.
+	c := NewCollector(1)
+	c.NoteQueueLen(250) // initial-convergence burst
+	c.OpenWindow(10 * time.Second)
+	if c.MaxQueueLen != 0 {
+		t.Errorf("MaxQueueLen after OpenWindow = %d, want 0", c.MaxQueueLen)
+	}
+	c.NoteQueueLen(7)
+	c.NoteQueueLen(4)
+	if c.MaxQueueLen != 7 {
+		t.Errorf("windowed MaxQueueLen = %d, want 7", c.MaxQueueLen)
+	}
+	if c.TotalMaxQueueLen != 250 {
+		t.Errorf("TotalMaxQueueLen = %d, want 250 (whole-run max persists)", c.TotalMaxQueueLen)
+	}
 }
