@@ -10,9 +10,9 @@ package bgpsim_test
 import (
 	"fmt"
 	"testing"
-	"time"
 
 	"bgpsim"
+	"bgpsim/internal/bench"
 )
 
 // benchFigure runs one registered experiment per iteration and reports
@@ -66,48 +66,26 @@ func BenchmarkAblationDamping(b *testing.B)               { benchFigure(b, "abla
 func BenchmarkAblationPolicy(b *testing.B)                { benchFigure(b, "ablation-policy") }
 func BenchmarkAblationPrefixScaling(b *testing.B)         { benchFigure(b, "ablation-prefix-scaling") }
 
-// benchScenario times one complete simulation run.
-func benchScenario(b *testing.B, sc bgpsim.Scenario) {
+// benchEntry delegates to the shared internal/bench registry (also used
+// by cmd/bgpbench) so both harnesses measure the same bodies.
+func benchEntry(b *testing.B, name string) {
 	b.Helper()
-	for i := 0; i < b.N; i++ {
-		sc.Seed = int64(1 + i)
-		if _, err := bgpsim.Run(sc); err != nil {
-			b.Fatal(err)
-		}
+	e, ok := bench.Lookup(name)
+	if !ok {
+		b.Fatalf("benchmark %q not in internal/bench registry", name)
 	}
+	e.Fn(b)
 }
 
-func BenchmarkScenarioSmallFailureFIFO(b *testing.B) {
-	benchScenario(b, bgpsim.Scenario{
-		Topology: bgpsim.Skewed7030(60),
-		Failure:  bgpsim.GeographicFailure(0.025),
-		Scheme:   bgpsim.ConstantMRAI(500 * time.Millisecond),
-	})
-}
+func BenchmarkScenarioSmallFailureFIFO(b *testing.B) { benchEntry(b, "ScenarioSmallFailureFIFO") }
 
-func BenchmarkScenarioLargeFailureFIFO(b *testing.B) {
-	benchScenario(b, bgpsim.Scenario{
-		Topology: bgpsim.Skewed7030(60),
-		Failure:  bgpsim.GeographicFailure(0.20),
-		Scheme:   bgpsim.ConstantMRAI(500 * time.Millisecond),
-	})
-}
+func BenchmarkScenarioLargeFailureFIFO(b *testing.B) { benchEntry(b, "ScenarioLargeFailureFIFO") }
 
 func BenchmarkScenarioLargeFailureBatched(b *testing.B) {
-	benchScenario(b, bgpsim.Scenario{
-		Topology: bgpsim.Skewed7030(60),
-		Failure:  bgpsim.GeographicFailure(0.20),
-		Scheme:   bgpsim.BatchedProcessing(500 * time.Millisecond),
-	})
+	benchEntry(b, "ScenarioLargeFailureBatched")
 }
 
-func BenchmarkScenarioDynamicMRAI(b *testing.B) {
-	benchScenario(b, bgpsim.Scenario{
-		Topology: bgpsim.Skewed7030(60),
-		Failure:  bgpsim.GeographicFailure(0.10),
-		Scheme:   bgpsim.DynamicMRAI(),
-	})
-}
+func BenchmarkScenarioDynamicMRAI(b *testing.B) { benchEntry(b, "ScenarioDynamicMRAI") }
 
 // BenchmarkSweepWorkers measures sweep wall-clock scaling with the
 // worker-pool size (fig3's grid at reduced scale). Figures are
@@ -132,15 +110,7 @@ func BenchmarkSweepWorkers(b *testing.B) {
 	}
 }
 
-func BenchmarkScenarioRealisticIBGP(b *testing.B) {
-	topo := bgpsim.Realistic(30)
-	topo.MaxASSize = 6
-	benchScenario(b, bgpsim.Scenario{
-		Topology: topo,
-		Failure:  bgpsim.GeographicFailure(0.10),
-		Scheme:   bgpsim.DynamicMRAI(),
-	})
-}
+func BenchmarkScenarioRealisticIBGP(b *testing.B) { benchEntry(b, "ScenarioRealisticIBGP") }
 
 func BenchmarkTopologyGeneration(b *testing.B) {
 	for i := 0; i < b.N; i++ {

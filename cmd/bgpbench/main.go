@@ -1,0 +1,197 @@
+// Command bgpbench runs the simulator's canonical benchmark suite
+// (internal/bench, the same bodies `go test -bench` runs) outside the
+// test harness and emits machine-readable results — the repo's perf
+// trajectory (BENCH_*.json) is produced by this tool.
+//
+// Usage:
+//
+//	bgpbench                                # run everything, table to stdout
+//	bgpbench -out BENCH_2.json              # also write JSON
+//	bgpbench -run 'ConvergeAndFail' -benchtime 5x
+//	bgpbench -check BENCH_2.json            # regression gate: fail if
+//	                                        # allocs/op regressed >10%
+//	bgpbench -list
+//
+// The -check mode compares allocs/op only: allocation counts are stable
+// across machines, while ns/op is not, so CI can block on allocation
+// regressions without flaking on shared-runner timing.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"testing"
+
+	"bgpsim/internal/bench"
+	"bgpsim/internal/profiling"
+)
+
+// File is the BENCH_*.json document bgpbench writes.
+type File struct {
+	// Schema identifies the document format.
+	Schema string `json:"schema"`
+	// Go is the toolchain that produced the numbers.
+	Go string `json:"go"`
+	// GOOS and GOARCH identify the platform.
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	// Benchtime is the -benchtime value the run used.
+	Benchtime string `json:"benchtime"`
+	// Results holds one entry per benchmark, in suite order.
+	Results []Result `json:"results"`
+}
+
+// Result is one benchmark's measurement.
+type Result struct {
+	// Name is the registry name (Benchmark<Name> under `go test`).
+	Name string `json:"name"`
+	// Iterations is the b.N the harness settled on.
+	Iterations int `json:"iterations"`
+	// NsPerOp is wall-clock time per iteration (machine-dependent).
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp is heap bytes allocated per iteration.
+	BytesPerOp int64 `json:"bytes_per_op"`
+	// AllocsPerOp is heap allocations per iteration — the number the
+	// -check regression gate compares.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bgpbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	testing.Init() // register test.* flags so -benchtime reaches testing.Benchmark
+	fs := flag.NewFlagSet("bgpbench", flag.ContinueOnError)
+	var (
+		list      = fs.Bool("list", false, "list benchmarks and exit")
+		runExpr   = fs.String("run", "", "only run benchmarks matching this regexp")
+		benchtime = fs.String("benchtime", "3x", "per-benchmark budget, Go benchtime syntax (3x, 1s, ...)")
+		outPath   = fs.String("out", "", "write results as JSON to this file")
+		checkPath = fs.String("check", "", "compare allocs/op against this baseline JSON and fail on regression")
+		tolerance = fs.Float64("tolerance", 1.10, "with -check: allowed allocs/op ratio over baseline")
+	)
+	var prof profiling.Config
+	prof.AddFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range bench.Suite() {
+			fmt.Fprintln(out, e.Name)
+		}
+		return nil
+	}
+
+	var filter *regexp.Regexp
+	if *runExpr != "" {
+		var err error
+		if filter, err = regexp.Compile(*runExpr); err != nil {
+			return fmt.Errorf("bad -run regexp: %w", err)
+		}
+	}
+	if err := flag.Lookup("test.benchtime").Value.Set(*benchtime); err != nil {
+		return fmt.Errorf("bad -benchtime: %w", err)
+	}
+
+	if err := prof.Start(); err != nil {
+		return err
+	}
+	defer prof.Stop()
+
+	doc := File{
+		Schema:    "bgpsim/bench/v1",
+		Go:        runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Benchtime: *benchtime,
+	}
+	for _, e := range bench.Suite() {
+		if filter != nil && !filter.MatchString(e.Name) {
+			continue
+		}
+		res := testing.Benchmark(e.Fn)
+		r := Result{
+			Name:        e.Name,
+			Iterations:  res.N,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+		}
+		doc.Results = append(doc.Results, r)
+		fmt.Fprintf(out, "%-28s %10d ns/op %12d B/op %10d allocs/op (n=%d)\n",
+			r.Name, int64(r.NsPerOp), r.BytesPerOp, r.AllocsPerOp, r.Iterations)
+	}
+	if len(doc.Results) == 0 {
+		return fmt.Errorf("no benchmarks matched -run %q", *runExpr)
+	}
+
+	if *outPath != "" {
+		if err := writeJSON(*outPath, doc); err != nil {
+			return err
+		}
+	}
+	if *checkPath != "" {
+		return check(out, doc, *checkPath, *tolerance)
+	}
+	return nil
+}
+
+// writeJSON writes the document with trailing newline, atomically enough
+// for CI artifact use.
+func writeJSON(path string, doc File) error {
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// check compares allocs/op in doc against the baseline file and returns
+// an error when any shared benchmark regressed beyond the tolerance.
+// Benchmarks present on only one side are reported but not fatal, so
+// adding or retiring a benchmark does not break the gate.
+func check(out *os.File, doc File, baselinePath string, tolerance float64) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base File
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("%s: %w", baselinePath, err)
+	}
+	baseline := make(map[string]Result, len(base.Results))
+	for _, r := range base.Results {
+		baseline[r.Name] = r
+	}
+	var regressions []string
+	for _, r := range doc.Results {
+		b, ok := baseline[r.Name]
+		if !ok {
+			fmt.Fprintf(out, "check: %s has no baseline (new benchmark?), skipping\n", r.Name)
+			continue
+		}
+		limit := float64(b.AllocsPerOp) * tolerance
+		if float64(r.AllocsPerOp) > limit {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: allocs/op %d > baseline %d x %.2f", r.Name, r.AllocsPerOp, b.AllocsPerOp, tolerance))
+		} else {
+			fmt.Fprintf(out, "check: %s ok (%d allocs/op, baseline %d)\n", r.Name, r.AllocsPerOp, b.AllocsPerOp)
+		}
+	}
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintln(out, "REGRESSION:", r)
+		}
+		return fmt.Errorf("%d allocation regression(s) vs %s", len(regressions), baselinePath)
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs the tool with stdout redirected to a pipe-backed temp file
+// and returns the printed output.
+func capture(t *testing.T, args []string) (string, error) {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	runErr := run(args, f)
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data), runErr
+}
+
+func TestListPrintsSuite(t *testing.T) {
+	out, err := capture(t, []string{"-list"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"ConvergeAndFailFIFO", "ConvergeAndFailBatched", "ScenarioDynamicMRAI"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in -list output:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFilterAndJSONOutput(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "bench.json")
+	out, err := capture(t, []string{"-run", "^ScenarioSmallFailureFIFO$", "-benchtime", "1x", "-out", outPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "ScenarioSmallFailureFIFO") {
+		t.Fatalf("no table row printed:\n%s", out)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc File
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != "bgpsim/bench/v1" {
+		t.Errorf("schema = %q", doc.Schema)
+	}
+	if len(doc.Results) != 1 || doc.Results[0].Name != "ScenarioSmallFailureFIFO" {
+		t.Fatalf("results = %+v", doc.Results)
+	}
+	r := doc.Results[0]
+	if r.AllocsPerOp <= 0 || r.BytesPerOp <= 0 || r.NsPerOp <= 0 {
+		t.Errorf("implausible measurement: %+v", r)
+	}
+}
+
+func TestUnmatchedRunFilterFails(t *testing.T) {
+	if _, err := capture(t, []string{"-run", "NoSuchBenchmark"}); err == nil {
+		t.Fatal("expected error for unmatched -run filter")
+	}
+}
+
+// TestCheckMode exercises the regression gate both ways against
+// fabricated baselines: a generous baseline passes, a tiny one fails.
+func TestCheckMode(t *testing.T) {
+	writeBaseline := func(allocs int64) string {
+		t.Helper()
+		doc := File{
+			Schema:  "bgpsim/bench/v1",
+			Results: []Result{{Name: "ScenarioSmallFailureFIFO", AllocsPerOp: allocs}},
+		}
+		data, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "base.json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	args := []string{"-run", "^ScenarioSmallFailureFIFO$", "-benchtime", "1x", "-check"}
+	if _, err := capture(t, append(args, writeBaseline(1<<40))); err != nil {
+		t.Errorf("generous baseline should pass, got %v", err)
+	}
+	out, err := capture(t, append(args, writeBaseline(1)))
+	if err == nil {
+		t.Error("tiny baseline should fail the allocs/op gate")
+	}
+	if !strings.Contains(out, "REGRESSION") {
+		t.Errorf("regression not reported:\n%s", out)
+	}
+}

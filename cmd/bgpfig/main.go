@@ -22,6 +22,7 @@ import (
 	"sync"
 
 	"bgpsim"
+	"bgpsim/internal/profiling"
 )
 
 func main() {
@@ -46,9 +47,15 @@ func run(args []string) error {
 		asJSON  = fs.Bool("json", false, "with -o: additionally write <id>.json for plotting tools")
 		quiet   = fs.Bool("q", false, "suppress progress output")
 	)
+	var prof profiling.Config
+	prof.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := prof.Start(); err != nil {
+		return err
+	}
+	defer prof.Stop()
 
 	if *list {
 		for _, e := range bgpsim.Experiments() {

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"bgpsim"
+	"bgpsim/internal/profiling"
 	"bgpsim/internal/topology"
 )
 
@@ -43,9 +44,15 @@ func run(args []string, out *os.File) error {
 		prefixes = fs.Int("prefixes", 1, "prefixes originated per AS")
 		policy   = fs.Bool("policy", false, "enable Gao-Rexford policies (hierarchical relationships)")
 	)
+	var prof profiling.Config
+	prof.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := prof.Start(); err != nil {
+		return err
+	}
+	defer prof.Stop()
 	sch, err := parseScheme(*scheme)
 	if err != nil {
 		return err

@@ -17,6 +17,7 @@ import (
 
 	"bgpsim"
 	"bgpsim/internal/analysis"
+	"bgpsim/internal/profiling"
 	"bgpsim/internal/topology"
 	"bgpsim/internal/trace"
 )
@@ -40,9 +41,15 @@ func run(args []string) error {
 		events   = fs.Bool("events", false, "dump the raw event log")
 		kindName = fs.String("kind", "", "with -events: only this kind (send, recv, proc, route, timer)")
 	)
+	var prof profiling.Config
+	prof.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := prof.Start(); err != nil {
+		return err
+	}
+	defer prof.Stop()
 
 	sch, err := parseScheme(*scheme)
 	if err != nil {

@@ -17,6 +17,7 @@ import (
 
 	"bgpsim"
 	"bgpsim/internal/des"
+	"bgpsim/internal/profiling"
 	"bgpsim/internal/topology"
 )
 
@@ -38,9 +39,15 @@ func run(args []string, out io.Writer) error {
 		inPath  = fs.String("in", "", "read a saved topology instead of generating")
 		stats   = fs.Bool("stats", false, "print summary statistics")
 	)
+	var prof profiling.Config
+	prof.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := prof.Start(); err != nil {
+		return err
+	}
+	defer prof.Stop()
 
 	if *kinds {
 		for _, k := range topology.Kinds() {

@@ -1,0 +1,140 @@
+// Package bench is the canonical registry of the simulator's end-to-end
+// benchmarks. The same entries back two consumers:
+//
+//   - the `go test -bench` suites (internal/bgp and the repo root import
+//     the registry from their _test files, so benchmark names and bodies
+//     stay in one place), and
+//   - cmd/bgpbench, which runs entries through testing.Benchmark and
+//     emits the machine-readable BENCH_*.json perf trajectory.
+//
+// Entries deliberately use only exported API (bgpsim, internal/bgp,
+// internal/topology), so the registry measures what a user of the library
+// gets, and a benchmark body cannot quietly depend on unexported state.
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"bgpsim"
+	"bgpsim/internal/bgp"
+	"bgpsim/internal/des"
+	"bgpsim/internal/mrai"
+	"bgpsim/internal/topology"
+)
+
+// Entry is one named benchmark runnable both under `go test -bench` and
+// via testing.Benchmark in cmd/bgpbench.
+type Entry struct {
+	// Name is the benchmark's identifier, matching the historical
+	// Benchmark<Name> function names.
+	Name string
+	// Fn is the benchmark body.
+	Fn func(b *testing.B)
+}
+
+// Suite returns the registry in fixed order.
+func Suite() []Entry {
+	return []Entry{
+		{"ConvergeAndFailFIFO", func(b *testing.B) { convergeAndFail(b, nil) }},
+		{"ConvergeAndFailBatched", func(b *testing.B) {
+			convergeAndFail(b, func(p *bgp.Params) { p.Queue = bgp.QueueBatched })
+		}},
+		{"ConvergeAndFailDynamic", func(b *testing.B) {
+			convergeAndFail(b, func(p *bgp.Params) { p.MRAI = mrai.PaperDynamic() })
+		}},
+		{"ConvergeAndFailDamped", func(b *testing.B) {
+			convergeAndFail(b, func(p *bgp.Params) { p.Damping = bgp.DefaultDamping() })
+		}},
+		{"ScenarioSmallFailureFIFO", func(b *testing.B) {
+			scenario(b, bgpsim.Scenario{
+				Topology: bgpsim.Skewed7030(60),
+				Failure:  bgpsim.GeographicFailure(0.025),
+				Scheme:   bgpsim.ConstantMRAI(500 * time.Millisecond),
+			})
+		}},
+		{"ScenarioLargeFailureFIFO", func(b *testing.B) {
+			scenario(b, bgpsim.Scenario{
+				Topology: bgpsim.Skewed7030(60),
+				Failure:  bgpsim.GeographicFailure(0.20),
+				Scheme:   bgpsim.ConstantMRAI(500 * time.Millisecond),
+			})
+		}},
+		{"ScenarioLargeFailureBatched", func(b *testing.B) {
+			scenario(b, bgpsim.Scenario{
+				Topology: bgpsim.Skewed7030(60),
+				Failure:  bgpsim.GeographicFailure(0.20),
+				Scheme:   bgpsim.BatchedProcessing(500 * time.Millisecond),
+			})
+		}},
+		{"ScenarioDynamicMRAI", func(b *testing.B) {
+			scenario(b, bgpsim.Scenario{
+				Topology: bgpsim.Skewed7030(60),
+				Failure:  bgpsim.GeographicFailure(0.10),
+				Scheme:   bgpsim.DynamicMRAI(),
+			})
+		}},
+		{"ScenarioRealisticIBGP", func(b *testing.B) {
+			topo := bgpsim.Realistic(30)
+			topo.MaxASSize = 6
+			scenario(b, bgpsim.Scenario{
+				Topology: topo,
+				Failure:  bgpsim.GeographicFailure(0.10),
+				Scheme:   bgpsim.DynamicMRAI(),
+			})
+		}},
+	}
+}
+
+// Lookup returns the entry with the given name.
+func Lookup(name string) (Entry, bool) {
+	for _, e := range Suite() {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// convergeAndFail is the body behind the ConvergeAndFail* entries: one
+// full simulation (initial convergence, 6-node geographic failure,
+// re-convergence) per iteration on a fixed 60-node topology.
+func convergeAndFail(b *testing.B, mutate func(*bgp.Params)) {
+	b.Helper()
+	rng := des.NewRNG(1)
+	nw, err := topology.SkewedNetwork(topology.Skewed7030(60), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fail := topology.NearestNodes(nw, topology.GridCenter(nw), 6, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := bgp.DefaultParams()
+		p.MRAI = mrai.Constant(500 * time.Millisecond)
+		p.Seed = int64(i + 1)
+		if mutate != nil {
+			mutate(&p)
+		}
+		sim, err := bgp.New(nw, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.ConvergeAndFail(fail); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// scenario is the body behind the Scenario* entries: one scenario-layer
+// run (topology generation included) per iteration, fresh seed each time.
+func scenario(b *testing.B, sc bgpsim.Scenario) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sc.Seed = int64(1 + i)
+		if _, err := bgpsim.Run(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

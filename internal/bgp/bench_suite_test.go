@@ -1,0 +1,26 @@
+// End-to-end simulator benchmarks, delegated to the shared
+// internal/bench registry so `go test -bench` and cmd/bgpbench measure
+// exactly the same bodies. This lives in the external test package
+// because internal/bench imports internal/bgp.
+package bgp_test
+
+import (
+	"testing"
+
+	"bgpsim/internal/bench"
+)
+
+// run looks up and executes one registry entry.
+func run(b *testing.B, name string) {
+	b.Helper()
+	e, ok := bench.Lookup(name)
+	if !ok {
+		b.Fatalf("benchmark %q not in internal/bench registry", name)
+	}
+	e.Fn(b)
+}
+
+func BenchmarkConvergeAndFailFIFO(b *testing.B)    { run(b, "ConvergeAndFailFIFO") }
+func BenchmarkConvergeAndFailBatched(b *testing.B) { run(b, "ConvergeAndFailBatched") }
+func BenchmarkConvergeAndFailDynamic(b *testing.B) { run(b, "ConvergeAndFailDynamic") }
+func BenchmarkConvergeAndFailDamped(b *testing.B)  { run(b, "ConvergeAndFailDamped") }

@@ -2,61 +2,12 @@ package bgp
 
 import (
 	"testing"
-	"time"
-
-	"bgpsim/internal/des"
-	"bgpsim/internal/mrai"
-	"bgpsim/internal/topology"
 )
 
-// benchNetwork builds one fixed 60-node topology for the simulator
-// micro-benchmarks.
-func benchNetwork(b *testing.B) *topology.Network {
-	b.Helper()
-	rng := des.NewRNG(1)
-	nw, err := topology.SkewedNetwork(topology.Skewed7030(60), rng)
-	if err != nil {
-		b.Fatal(err)
-	}
-	return nw
-}
-
-func benchFullRun(b *testing.B, mutate func(*Params)) {
-	nw := benchNetwork(b)
-	fail := topology.NearestNodes(nw, topology.GridCenter(nw), 6, nil)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		p := DefaultParams()
-		p.MRAI = mrai.Constant(500 * time.Millisecond)
-		p.Seed = int64(i + 1)
-		if mutate != nil {
-			mutate(&p)
-		}
-		sim, err := New(nw, p)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if _, err := sim.ConvergeAndFail(fail); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func BenchmarkConvergeAndFailFIFO(b *testing.B) {
-	benchFullRun(b, nil)
-}
-
-func BenchmarkConvergeAndFailBatched(b *testing.B) {
-	benchFullRun(b, func(p *Params) { p.Queue = QueueBatched })
-}
-
-func BenchmarkConvergeAndFailDynamic(b *testing.B) {
-	benchFullRun(b, func(p *Params) { p.MRAI = mrai.PaperDynamic() })
-}
-
-func BenchmarkConvergeAndFailDamped(b *testing.B) {
-	benchFullRun(b, func(p *Params) { p.Damping = DefaultDamping() })
-}
+// The end-to-end BenchmarkConvergeAndFail* benchmarks moved to
+// bench_suite_test.go (package bgp_test), which delegates to the shared
+// internal/bench registry also used by cmd/bgpbench. This file keeps the
+// micro-benchmarks that need unexported access.
 
 func BenchmarkDecisionProcess(b *testing.B) {
 	rib := newAdjRIBIn()

@@ -4,14 +4,26 @@ package bgp
 // unit of work: a slice of updates the CPU processes together (length 1
 // under FIFO). Discarded counts updates deleted without processing (the
 // batching scheme's staleness elimination).
+//
+// Batch ownership: the slice returned by Pop is valid until the next Pop
+// or Recycle call on the same inbox. The router hands it back through
+// Recycle once the work unit is fully processed, letting the inbox reuse
+// the backing array for future batches.
 type Inbox interface {
+	// Push appends one arriving update.
 	Push(u Update)
+	// Pop removes and returns the next unit of work, or nil when empty.
 	Pop() []Update
+	// Len returns the number of queued updates.
 	Len() int
+	// Empty reports whether no updates are queued.
 	Empty() bool
 	// TakeDiscarded returns and resets the count of updates deleted
 	// unprocessed since the last call.
 	TakeDiscarded() int
+	// Recycle returns a batch obtained from Pop so its backing array can
+	// back a future batch. Passing a foreign slice is a caller bug.
+	Recycle(batch []Update)
 }
 
 // newInbox builds the inbox for the configured queue discipline.
@@ -35,10 +47,12 @@ func newInbox(p Params) Inbox {
 type fifoInbox struct {
 	buf        []Update
 	head, size int
+	out        [1]Update // scratch backing the single-update batch Pop returns
 }
 
 var _ Inbox = (*fifoInbox)(nil)
 
+// Push appends one update to the ring.
 func (q *fifoInbox) Push(u Update) {
 	if q.size == len(q.buf) {
 		q.grow()
@@ -56,20 +70,30 @@ func (q *fifoInbox) grow() {
 	q.head = 0
 }
 
+// Pop returns the oldest update as a one-element batch. The batch aliases
+// an internal scratch slot, per the Inbox ownership contract.
 func (q *fifoInbox) Pop() []Update {
 	if q.size == 0 {
 		return nil
 	}
-	u := q.buf[q.head]
+	q.out[0] = q.buf[q.head]
 	q.buf[q.head] = Update{}
 	q.head = (q.head + 1) % len(q.buf)
 	q.size--
-	return []Update{u}
+	return q.out[:1]
 }
 
-func (q *fifoInbox) Len() int           { return q.size }
-func (q *fifoInbox) Empty() bool        { return q.size == 0 }
+// Len returns the number of queued updates.
+func (q *fifoInbox) Len() int { return q.size }
+
+// Empty reports whether the ring is empty.
+func (q *fifoInbox) Empty() bool { return q.size == 0 }
+
+// TakeDiscarded always returns zero: FIFO never discards.
 func (q *fifoInbox) TakeDiscarded() int { return 0 }
+
+// Recycle is a no-op: FIFO batches live in a fixed scratch slot.
+func (q *fifoInbox) Recycle(batch []Update) {}
 
 // batchInbox is the paper's destination-batched queue: one logical queue
 // per destination, served in order of each destination's earliest pending
@@ -78,7 +102,9 @@ func (q *fifoInbox) TakeDiscarded() int { return 0 }
 // destination ("the older updates are now invalid").
 type batchInbox struct {
 	order        []ASN // destinations with pending updates, FIFO by first arrival
+	orderHead    int   // consumed prefix of order; reset when it drains
 	byDest       map[ASN][]Update
+	free         [][]Update // recycled batch backing arrays
 	size         int
 	discarded    int
 	discardStale bool
@@ -86,10 +112,17 @@ type batchInbox struct {
 
 var _ Inbox = (*batchInbox)(nil)
 
+// Push files the update under its destination, applying staleness
+// elimination when enabled.
 func (q *batchInbox) Push(u Update) {
 	list, pending := q.byDest[u.Dest]
 	if !pending {
 		q.order = append(q.order, u.Dest)
+		if n := len(q.free); list == nil && n > 0 {
+			list = q.free[n-1]
+			q.free[n-1] = nil
+			q.free = q.free[:n-1]
+		}
 	}
 	if q.discardStale {
 		for i := range list {
@@ -107,10 +140,18 @@ func (q *batchInbox) Push(u Update) {
 	q.size++
 }
 
+// Pop returns all queued updates for the destination whose first update
+// arrived earliest. The consumed prefix of the order slice is tracked by
+// index (not by re-slicing) so the backing array is reused once drained
+// instead of reallocated on every refill.
 func (q *batchInbox) Pop() []Update {
-	for len(q.order) > 0 {
-		dest := q.order[0]
-		q.order = q.order[1:]
+	for q.orderHead < len(q.order) {
+		dest := q.order[q.orderHead]
+		q.orderHead++
+		if q.orderHead == len(q.order) {
+			q.order = q.order[:0]
+			q.orderHead = 0
+		}
 		list, ok := q.byDest[dest]
 		if !ok || len(list) == 0 {
 			continue
@@ -122,13 +163,24 @@ func (q *batchInbox) Pop() []Update {
 	return nil
 }
 
-func (q *batchInbox) Len() int    { return q.size }
+// Len returns the number of queued updates across all destinations.
+func (q *batchInbox) Len() int { return q.size }
+
+// Empty reports whether no updates are queued.
 func (q *batchInbox) Empty() bool { return q.size == 0 }
 
+// TakeDiscarded returns and resets the stale-discard counter.
 func (q *batchInbox) TakeDiscarded() int {
 	d := q.discarded
 	q.discarded = 0
 	return d
+}
+
+// Recycle stores the batch's backing array for reuse by a future Push.
+func (q *batchInbox) Recycle(batch []Update) {
+	if cap(batch) > 0 {
+		q.free = append(q.free, batch[:0])
+	}
 }
 
 // routerBatchInbox models production-router behaviour circa the paper:
@@ -137,26 +189,41 @@ func (q *batchInbox) TakeDiscarded() int {
 // update only if both sit in the same per-peer batch.
 type routerBatchInbox struct {
 	peerOrder []NodeID // peers with pending updates, FIFO by first arrival
+	orderHead int      // consumed prefix of peerOrder; reset when it drains
 	byPeer    map[NodeID][]Update
+	free      [][]Update  // recycled batch backing arrays
+	lastFor   map[ASN]int // Pop scratch: last batch index per destination
 	size      int
 	discarded int
 }
 
 var _ Inbox = (*routerBatchInbox)(nil)
 
+// Push files the update under its sending peer.
 func (q *routerBatchInbox) Push(u Update) {
 	list, pending := q.byPeer[u.From]
 	if !pending {
 		q.peerOrder = append(q.peerOrder, u.From)
+		if n := len(q.free); list == nil && n > 0 {
+			list = q.free[n-1]
+			q.free[n-1] = nil
+			q.free = q.free[:n-1]
+		}
 	}
 	q.byPeer[u.From] = append(list, u)
 	q.size++
 }
 
+// Pop drains the batch of the peer whose first update arrived earliest,
+// dropping superseded same-destination updates within the batch.
 func (q *routerBatchInbox) Pop() []Update {
-	for len(q.peerOrder) > 0 {
-		peer := q.peerOrder[0]
-		q.peerOrder = q.peerOrder[1:]
+	for q.orderHead < len(q.peerOrder) {
+		peer := q.peerOrder[q.orderHead]
+		q.orderHead++
+		if q.orderHead == len(q.peerOrder) {
+			q.peerOrder = q.peerOrder[:0]
+			q.orderHead = 0
+		}
 		list, ok := q.byPeer[peer]
 		if !ok || len(list) == 0 {
 			continue
@@ -167,7 +234,11 @@ func (q *routerBatchInbox) Pop() []Update {
 		// a BGP speaker applies them in order so older ones are dead work
 		// that the batch reader skips.
 		kept := list[:0]
-		lastFor := make(map[ASN]int, len(list))
+		if q.lastFor == nil {
+			q.lastFor = make(map[ASN]int, len(list))
+		}
+		lastFor := q.lastFor
+		clear(lastFor)
 		for i, u := range list {
 			lastFor[u.Dest] = i
 		}
@@ -183,13 +254,24 @@ func (q *routerBatchInbox) Pop() []Update {
 	return nil
 }
 
-func (q *routerBatchInbox) Len() int    { return q.size }
+// Len returns the number of queued updates across all peers.
+func (q *routerBatchInbox) Len() int { return q.size }
+
+// Empty reports whether no updates are queued.
 func (q *routerBatchInbox) Empty() bool { return q.size == 0 }
 
+// TakeDiscarded returns and resets the superseded-update counter.
 func (q *routerBatchInbox) TakeDiscarded() int {
 	d := q.discarded
 	q.discarded = 0
 	return d
+}
+
+// Recycle stores the batch's backing array for reuse by a future Push.
+func (q *routerBatchInbox) Recycle(batch []Update) {
+	if cap(batch) > 0 {
+		q.free = append(q.free, batch[:0])
+	}
 }
 
 func max(a, b int) int {

@@ -13,6 +13,15 @@ type locEntry struct {
 	path         Path
 	from         NodeID // advertising peer; -1 for a locally originated route
 	fromInternal bool
+
+	// export caches prependPath(localAS, path), the announcement every
+	// external peer receives for this entry. It is computed lazily on the
+	// first external advertisement and shared by all peers (paths are
+	// immutable), so re-advertising one Loc-RIB entry to N peers costs one
+	// allocation instead of N — the single largest allocation site in the
+	// unpooled simulator. nil means "not computed yet" (a computed export
+	// always has length >= 1: the local AS).
+	export Path
 }
 
 // selfRoute is the Loc-RIB entry for a locally originated prefix.
@@ -24,7 +33,8 @@ func selfRoute() locEntry {
 func (e locEntry) isSelf() bool { return e.from == -1 }
 
 // sameAs reports whether two entries would produce identical
-// advertisements and bookkeeping.
+// advertisements and bookkeeping. The export cache is deliberately
+// ignored: it is derived from path and may be populated on one side only.
 func (e locEntry) sameAs(o locEntry) bool {
 	return e.from == o.from && e.fromInternal == o.fromInternal && pathsEqual(e.path, o.path)
 }

@@ -39,6 +39,16 @@ type router struct {
 
 	policy mrai.Policy
 
+	// Reusable scratch and pre-allocated event tasks. The simulation hot
+	// loop (enqueue -> process -> decide -> flush) runs millions of times
+	// per experiment; everything here exists so that steady-state
+	// iterations allocate nothing.
+	proc         procTask    // the single in-flight CPU-completion task
+	flushTasks   []flushTask // per-slot deferred-flush tasks
+	destsScratch []ASN       // tryFlush's sorted pending-destination list
+	touched      map[ASN]struct{}
+	changed      []ASN
+
 	// Load accounting for mrai.Snapshot.
 	busyAccum     time.Duration
 	busyStart     des.Time
@@ -72,12 +82,16 @@ func newRouter(id NodeID, as ASN, peers []Peer, p Params, factory mrai.Factory, 
 		inbox:      newInbox(p),
 		policy:     factory(len(peers)),
 		flapCount:  make(map[ASN]int),
+		flushTasks: make([]flushTask, len(peers)),
+		touched:    make(map[ASN]struct{}),
 	}
+	r.proc.r = r
 	for slot, peer := range peers {
 		r.peerAlive[slot] = true
 		r.slotOf[peer.Node] = slot
 		r.advertised[slot] = make(map[ASN]Path)
 		r.pending[slot] = make(map[ASN]struct{})
+		r.flushTasks[slot] = flushTask{r: r, slot: slot}
 	}
 	if p.PerDestinationMRAI {
 		r.destGate = make([]map[ASN]des.Time, len(peers))
@@ -97,6 +111,36 @@ func (r *router) originate(dest ASN) {
 	r.loc[dest] = selfRoute()
 	r.markPendingAll(dest)
 	r.flushAll()
+}
+
+// procTask is the pre-allocated des.Runner for CPU-completion events.
+// Each router has exactly one in-flight work unit at a time (guarded by
+// r.busy), so one reusable task per router replaces a per-unit closure.
+type procTask struct {
+	r     *router
+	batch []Update
+}
+
+// Run delivers the completed work unit to finishProcessing.
+func (t *procTask) Run() {
+	batch := t.batch
+	t.batch = nil
+	t.r.finishProcessing(batch)
+}
+
+// flushTask is the pre-allocated des.Runner for deferred-flush events.
+// Each (router, slot) has at most one armed flush event (guarded by
+// r.flushEv[slot]), so one reusable task per slot replaces a per-arming
+// closure.
+type flushTask struct {
+	r    *router
+	slot int
+}
+
+// Run clears the armed-event marker and retries the flush.
+func (t *flushTask) Run() {
+	t.r.flushEv[t.slot] = nil
+	t.r.tryFlush(t.slot)
 }
 
 // --- receive path -----------------------------------------------------
@@ -146,6 +190,7 @@ func (r *router) startProcessing() {
 			r.sim.col.NoteDiscarded(discarded)
 		}
 		if len(batch) == 0 {
+			r.inbox.Recycle(batch)
 			continue
 		}
 		var delay time.Duration
@@ -154,7 +199,8 @@ func (r *router) startProcessing() {
 		}
 		r.busy = true
 		r.busyStart = r.sim.eng.Now()
-		r.sim.eng.Schedule(delay, func() { r.finishProcessing(batch) })
+		r.proc.batch = batch
+		r.sim.eng.ScheduleRunner(delay, &r.proc)
 		return
 	}
 }
@@ -176,7 +222,8 @@ func (r *router) finishProcessing(batch []Update) {
 		Peer: -1, Dest: -1, Value: len(batch),
 	})
 
-	touched := make(map[ASN]struct{}, len(batch))
+	touched := r.touched
+	clear(touched)
 	for _, u := range batch {
 		// Drop updates from peers that died while the message was queued.
 		slot, ok := r.slotOf[u.From]
@@ -202,11 +249,12 @@ func (r *router) finishProcessing(batch []Update) {
 		touched[u.Dest] = struct{}{}
 	}
 
-	changed := make([]ASN, 0, len(touched))
+	changed := r.changed[:0]
 	for dest := range touched {
 		changed = append(changed, dest)
 	}
 	sort.Ints(changed)
+	r.changed = changed
 	anyChanged := false
 	for _, dest := range changed {
 		if r.runDecision(dest) {
@@ -214,6 +262,7 @@ func (r *router) finishProcessing(batch []Update) {
 			anyChanged = true
 		}
 	}
+	r.inbox.Recycle(batch)
 	if anyChanged {
 		r.flushAll()
 	}
@@ -295,11 +344,12 @@ func (r *router) tryFlush(slot int) {
 		return
 	}
 	now := r.sim.eng.Now()
-	dests := make([]ASN, 0, len(pend))
+	dests := r.destsScratch[:0]
 	for dest := range pend {
 		dests = append(dests, dest)
 	}
 	sort.Ints(dests)
+	r.destsScratch = dests
 
 	peerAllowed := now >= r.nextSend[slot]
 	sentGated := false // a gated announcement went out -> rearm timer
@@ -415,10 +465,7 @@ func (r *router) scheduleFlush(slot int, at des.Time) {
 		}
 		r.sim.eng.Cancel(ev)
 	}
-	r.flushEv[slot] = r.sim.eng.ScheduleAt(at, func() {
-		r.flushEv[slot] = nil
-		r.tryFlush(slot)
-	})
+	r.flushEv[slot] = r.sim.eng.ScheduleRunnerAt(at, &r.flushTasks[slot])
 }
 
 // send transmits one route-level update to the slot's peer.
@@ -430,14 +477,7 @@ func (r *router) send(slot int, u Update) {
 		At: now, Kind: trace.KindSend, Node: r.id,
 		Peer: peer.Node, Dest: u.Dest, Withdrawal: u.IsWithdrawal(),
 	})
-	target := r.sim.routers[peer.Node]
-	r.sim.eng.Schedule(peer.Delay, func() {
-		// The link is down if either endpoint died while in flight.
-		if !r.alive || !target.alive {
-			return
-		}
-		target.enqueue(u)
-	})
+	r.sim.deliver(r, r.sim.routers[peer.Node], peer.Delay, u)
 }
 
 // desiredAdvert computes what the router should currently advertise to
@@ -484,7 +524,14 @@ func (r *router) desiredAdvert(dest ASN, slot int) Path {
 	if pathContains(e.path, peer.AS) {
 		return nil
 	}
-	return prependPath(r.as, e.path)
+	if e.export == nil {
+		// First external advertisement of this entry: compute the prepended
+		// path once and cache it on the Loc-RIB entry so every other peer
+		// (and every later flush retry) shares the same immutable slice.
+		e.export = prependPath(r.as, e.path)
+		r.loc[dest] = e
+	}
+	return e.export
 }
 
 // --- failure handling ---------------------------------------------------

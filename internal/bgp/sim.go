@@ -32,6 +32,49 @@ type Simulator struct {
 	origins map[int]NodeID // destination prefix -> originating router
 	nprefix int            // prefixes per AS
 	tracer  trace.Tracer
+
+	// freeDeliveries is the free list of in-flight message events. A
+	// delivery is taken here (or allocated) by deliver, scheduled on the
+	// engine, and returned by its own Run, so steady-state message
+	// transmission allocates nothing. The list only ever grows to the peak
+	// number of simultaneously in-flight updates.
+	freeDeliveries *delivery
+}
+
+// delivery is the pooled des.Runner carrying one in-flight update from
+// router to router across a link.
+type delivery struct {
+	sim      *Simulator
+	next     *delivery // free-list link
+	from, to *router
+	u        Update
+}
+
+// deliver schedules u to arrive at to after the link delay, reusing a
+// pooled delivery event when one is free.
+func (s *Simulator) deliver(from, to *router, delay time.Duration, u Update) {
+	d := s.freeDeliveries
+	if d != nil {
+		s.freeDeliveries = d.next
+		d.next = nil
+	} else {
+		d = &delivery{sim: s}
+	}
+	d.from, d.to, d.u = from, to, u
+	s.eng.ScheduleRunner(delay, d)
+}
+
+// Run completes the delivery and returns the object to the pool.
+func (d *delivery) Run() {
+	from, to, u := d.from, d.to, d.u
+	d.from, d.to, d.u = nil, nil, Update{}
+	d.next = d.sim.freeDeliveries
+	d.sim.freeDeliveries = d
+	// The link is down if either endpoint died while in flight.
+	if !from.alive || !to.alive {
+		return
+	}
+	to.enqueue(u)
 }
 
 // emit delivers an event to the configured tracer, if any. Callers guard

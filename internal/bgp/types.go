@@ -23,9 +23,9 @@ type Path = []ASN
 // Update is one route-level BGP message: an announcement (Path != nil)
 // or a withdrawal (Path == nil) for one destination.
 type Update struct {
-	From NodeID
-	Dest ASN
-	Path Path
+	From NodeID // sending router
+	Dest ASN    // destination AS the route is for
+	Path Path   // announced AS path; nil means withdrawal
 }
 
 // IsWithdrawal reports whether the update withdraws the route.
@@ -77,8 +77,8 @@ func prependPath(as ASN, p Path) Path {
 
 // Peer describes one BGP session endpoint from a router's point of view.
 type Peer struct {
-	Node     NodeID
-	AS       ASN
-	Internal bool
-	Delay    time.Duration
+	Node     NodeID        // the peer router
+	AS       ASN           // the peer's AS number
+	Internal bool          // true for IBGP (same-AS) sessions
+	Delay    time.Duration // one-way propagation delay of the session link
 }

@@ -23,17 +23,37 @@ type Time = time.Duration
 // engine clock set to the event's timestamp.
 type Handler func()
 
+// Runner is the allocation-free counterpart to Handler. Scheduling a
+// closure allocates it on the heap once per event; hot-path callers
+// (message delivery, CPU-completion and flush timers in the BGP model)
+// instead implement Runner on a long-lived object and schedule it with
+// ScheduleRunner, so steady-state event dispatch allocates nothing.
+type Runner interface {
+	// Run is invoked when the event fires, with the engine clock set to
+	// the event's timestamp.
+	Run()
+}
+
 // ErrHorizon is returned by Run variants when the configured event horizon
 // is exceeded, which almost always indicates a scheduling loop in the model.
 var ErrHorizon = errors.New("des: event horizon exceeded")
 
 // Event is a scheduled callback. Events are created by Engine.Schedule and
 // may be canceled before they fire.
+//
+// Events are pooled: once an event has fired (or its cancellation has been
+// drained from the queue) the engine recycles the Event object for a future
+// Schedule call. A caller must therefore drop its *Event reference no later
+// than the event's own handler; calling Cancel, At, or Canceled on a
+// reference retained past that point observes (or corrupts) an unrelated
+// later event. The in-tree callers all clear their reference from the
+// firing handler itself, or only cancel events they know are still queued.
 type Event struct {
 	at      Time
 	seq     uint64
 	index   int // heap index, -1 once popped
 	fn      Handler
+	runner  Runner
 	stopped bool
 }
 
@@ -51,6 +71,7 @@ type Engine struct {
 	now       Time
 	seq       uint64
 	queue     eventHeap
+	free      []*Event // recycled Event objects (see Event)
 	processed uint64
 	maxEvents uint64
 }
@@ -96,26 +117,74 @@ func (e *Engine) Schedule(delay Time, fn Handler) *Event {
 // ScheduleAt arranges for fn to run at absolute time at. Scheduling in the
 // past panics: it is a model bug, not a recoverable condition.
 func (e *Engine) ScheduleAt(at Time, fn Handler) *Event {
-	if at < e.now {
-		panic(fmt.Sprintf("des: schedule at %v before now %v", at, e.now))
-	}
 	if fn == nil {
 		panic("des: schedule nil handler")
 	}
+	ev := e.alloc(at)
+	ev.fn = fn
+	return ev
+}
+
+// ScheduleRunner arranges for r.Run to fire after delay, like Schedule but
+// without the per-event closure allocation. A negative delay is treated as
+// zero.
+func (e *Engine) ScheduleRunner(delay Time, r Runner) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.ScheduleRunnerAt(e.now+delay, r)
+}
+
+// ScheduleRunnerAt arranges for r.Run to fire at absolute time at, like
+// ScheduleAt but without the per-event closure allocation.
+func (e *Engine) ScheduleRunnerAt(at Time, r Runner) *Event {
+	if r == nil {
+		panic("des: schedule nil runner")
+	}
+	ev := e.alloc(at)
+	ev.runner = r
+	return ev
+}
+
+// alloc takes an Event from the free list (or heap-allocates one), stamps
+// it with (at, next sequence number), and queues it. The handler fields are
+// left for the caller to fill in.
+func (e *Engine) alloc(at Time) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("des: schedule at %v before now %v", at, e.now))
+	}
 	e.seq++
-	ev := &Event{at: at, seq: e.seq, fn: fn}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		*ev = Event{at: at, seq: e.seq}
+	} else {
+		ev = &Event{at: at, seq: e.seq}
+	}
 	e.queue.Push(ev)
 	return ev
 }
 
-// Cancel marks an event so it will not fire. Canceling an event that
-// already fired or was already canceled is a no-op.
+// recycle returns a popped event to the free list. Callers must have
+// cleared fn/runner (or be handing over a canceled event, whose fields
+// Cancel already cleared).
+func (e *Engine) recycle(ev *Event) {
+	e.free = append(e.free, ev)
+}
+
+// Cancel marks an event so it will not fire. Canceling nil or an
+// already-canceled event is a no-op. Canceling an event that has already
+// fired is undefined (see Event): the object may describe a different,
+// still-live event by then.
 func (e *Engine) Cancel(ev *Event) {
 	if ev == nil {
 		return
 	}
 	ev.stopped = true
 	ev.fn = nil
+	ev.runner = nil
 }
 
 // Step fires the next event. It reports false if the queue is empty.
@@ -123,13 +192,21 @@ func (e *Engine) Step() bool {
 	for e.queue.Len() > 0 {
 		ev := e.queue.Pop()
 		if ev.stopped {
+			e.recycle(ev)
 			continue
 		}
 		e.now = ev.at
 		e.processed++
-		fn := ev.fn
-		ev.fn = nil
-		fn()
+		fn, r := ev.fn, ev.runner
+		ev.fn, ev.runner = nil, nil
+		if r != nil {
+			r.Run()
+		} else {
+			fn()
+		}
+		// Recycled only after the handler returns, so a handler can never
+		// be handed its own event object for a fresh Schedule call.
+		e.recycle(ev)
 		return true
 	}
 	return false
@@ -148,7 +225,7 @@ func (e *Engine) RunUntil(deadline Time) error {
 	for e.queue.Len() > 0 {
 		next := e.queue.Peek()
 		if next.stopped {
-			e.queue.Pop()
+			e.recycle(e.queue.Pop())
 			continue
 		}
 		if next.at > deadline {

@@ -17,15 +17,15 @@ type Collector struct {
 
 	// Windowed counters (post-failure, the paper's metrics).
 	Announcements int
-	Withdrawals   int
+	Withdrawals   int // withdrawal messages sent in the window
 	Packets       int // flush operations carrying >= 1 route
-	Processed     int
+	Processed     int // updates consumed from inboxes in the window
 	Discarded     int // stale updates deleted unprocessed by batching
 	lastActivity  time.Duration
 
 	// Totals across the whole run (including initial convergence).
 	TotalMessages  int
-	TotalProcessed int
+	TotalProcessed int // updates consumed from inboxes over the whole run
 
 	// Load statistics. MaxQueueLen is windowed like the counters above —
 	// OpenWindow resets it so the post-failure load statistic the
@@ -33,7 +33,7 @@ type Collector struct {
 	// (initial convergence) queue buildup. TotalMaxQueueLen keeps the
 	// whole-run high-water mark.
 	MaxQueueLen      int
-	TotalMaxQueueLen int
+	TotalMaxQueueLen int // whole-run inbox-length high-water mark
 	perNodeSent      []int
 	routeChanges     int
 }

@@ -1,0 +1,86 @@
+// Package profiling wires Go's pprof profilers into the command-line
+// tools. Every cmd/ binary exposes -cpuprofile and -memprofile flags
+// through AddFlags/Stop so a paper-scale run can be profiled without a
+// test harness:
+//
+//	bgpfig -fig 3 -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof -top cpu.out
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Config holds the profile destinations parsed from the command line.
+type Config struct {
+	// CPUPath receives a CPU profile covering Start..Stop ("" = disabled).
+	CPUPath string
+	// MemPath receives a heap profile written at Stop ("" = disabled).
+	MemPath string
+
+	cpuFile *os.File
+}
+
+// AddFlags registers -cpuprofile and -memprofile on fs.
+func (c *Config) AddFlags(fs *flag.FlagSet) {
+	fs.StringVar(&c.CPUPath, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&c.MemPath, "memprofile", "", "write a heap profile to this file on exit")
+}
+
+// Start begins CPU profiling if requested. It must be paired with Stop.
+func (c *Config) Start() error {
+	if c.CPUPath == "" {
+		return nil
+	}
+	f, err := os.Create(c.CPUPath)
+	if err != nil {
+		return fmt.Errorf("profiling: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("profiling: %w", err)
+	}
+	c.cpuFile = f
+	return nil
+}
+
+// Stop ends CPU profiling and writes the heap profile, if either was
+// requested. Safe to call when Start was never called or profiling is
+// disabled.
+func (c *Config) Stop() error {
+	var firstErr error
+	if c.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := c.cpuFile.Close(); err != nil {
+			firstErr = fmt.Errorf("profiling: %w", err)
+		}
+		c.cpuFile = nil
+	}
+	if c.MemPath != "" {
+		f, err := os.Create(c.MemPath)
+		if err != nil {
+			return nonNil(firstErr, fmt.Errorf("profiling: %w", err))
+		}
+		runtime.GC() // capture the settled live set, not transient garbage
+		err = pprof.Lookup("allocs").WriteTo(f, 0)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nonNil(firstErr, fmt.Errorf("profiling: %w", err))
+		}
+	}
+	return firstErr
+}
+
+// nonNil returns the first non-nil error.
+func nonNil(a, b error) error {
+	if a != nil {
+		return a
+	}
+	return b
+}
