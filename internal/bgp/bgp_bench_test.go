@@ -10,12 +10,14 @@ import (
 // micro-benchmarks that need unexported access.
 
 func BenchmarkDecisionProcess(b *testing.B) {
-	rib := newAdjRIBIn()
 	peers := make([]Peer, 8)
 	alive := make([]bool, 8)
 	for i := range peers {
 		peers[i] = Peer{Node: i, AS: 10 + i}
 		alive[i] = true
+	}
+	rib := ribOver(peers, 100)
+	for i := range peers {
 		rib.set(99, i, Path{10 + i, 50, 99})
 	}
 	b.ResetTimer()

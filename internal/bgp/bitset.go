@@ -1,0 +1,66 @@
+package bgp
+
+import "math/bits"
+
+// bitset is a fixed-capacity set of small non-negative integers (dense
+// destination indices). It backs the per-slot pending sets and the
+// presence bits of the dense RIB arrays: all simulation loops that drain
+// a bitset iterate it in ascending order, which is exactly the sorted
+// order the map-based implementation produced with an explicit sort, so
+// switching storage cannot change event order.
+type bitset []uint64
+
+// newBitset returns a set able to hold values in [0, n).
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+// set adds i to the set.
+func (b bitset) set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+// clear removes i from the set.
+func (b bitset) clear(i int) { b[i>>6] &^= 1 << (uint(i) & 63) }
+
+// has reports whether i is in the set.
+func (b bitset) has(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// any reports whether the set is non-empty.
+func (b bitset) any() bool {
+	for _, w := range b {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// count returns the number of elements in the set.
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// clearAll empties the set.
+func (b bitset) clearAll() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// trailingZeros is a local alias for bits.TrailingZeros64, used by the
+// dense-RIB sparse-clear loops.
+func trailingZeros(w uint64) int { return bits.TrailingZeros64(w) }
+
+// appendIndices appends the elements of the set to out in ascending
+// order and returns the extended slice.
+func (b bitset) appendIndices(out []int) []int {
+	for wi, w := range b {
+		base := wi << 6
+		for w != 0 {
+			out = append(out, base+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	return out
+}

@@ -24,6 +24,9 @@ type Inbox interface {
 	// Recycle returns a batch obtained from Pop so its backing array can
 	// back a future batch. Passing a foreign slice is a caller bug.
 	Recycle(batch []Update)
+	// Reset empties the inbox for simulator reuse, retaining internal
+	// capacity (ring buffers, recycled batch arrays) where possible.
+	Reset()
 }
 
 // newInbox builds the inbox for the configured queue discipline.
@@ -94,6 +97,12 @@ func (q *fifoInbox) TakeDiscarded() int { return 0 }
 
 // Recycle is a no-op: FIFO batches live in a fixed scratch slot.
 func (q *fifoInbox) Recycle(batch []Update) {}
+
+// Reset empties the ring, retaining its backing array.
+func (q *fifoInbox) Reset() {
+	clear(q.buf)
+	q.head, q.size = 0, 0
+}
 
 // batchInbox is the paper's destination-batched queue: one logical queue
 // per destination, served in order of each destination's earliest pending
@@ -181,6 +190,21 @@ func (q *batchInbox) Recycle(batch []Update) {
 	if cap(batch) > 0 {
 		q.free = append(q.free, batch[:0])
 	}
+}
+
+// Reset empties the inbox, moving queued per-destination lists to the
+// free list so their backing arrays are reused by the next run.
+func (q *batchInbox) Reset() {
+	for dest, list := range q.byDest {
+		if cap(list) > 0 {
+			q.free = append(q.free, list[:0])
+		}
+		delete(q.byDest, dest)
+	}
+	q.order = q.order[:0]
+	q.orderHead = 0
+	q.size = 0
+	q.discarded = 0
 }
 
 // routerBatchInbox models production-router behaviour circa the paper:
@@ -272,6 +296,21 @@ func (q *routerBatchInbox) Recycle(batch []Update) {
 	if cap(batch) > 0 {
 		q.free = append(q.free, batch[:0])
 	}
+}
+
+// Reset empties the inbox, moving queued per-peer lists to the free list
+// so their backing arrays are reused by the next run.
+func (q *routerBatchInbox) Reset() {
+	for peer, list := range q.byPeer {
+		if cap(list) > 0 {
+			q.free = append(q.free, list[:0])
+		}
+		delete(q.byPeer, peer)
+	}
+	q.peerOrder = q.peerOrder[:0]
+	q.orderHead = 0
+	q.size = 0
+	q.discarded = 0
 }
 
 func max(a, b int) int {

@@ -1,8 +1,6 @@
 package bgp
 
 import (
-	"sort"
-
 	"bgpsim/internal/topology"
 )
 
@@ -39,64 +37,208 @@ func (e locEntry) sameAs(o locEntry) bool {
 	return e.from == o.from && e.fromInternal == o.fromInternal && pathsEqual(e.path, o.path)
 }
 
-// adjRIBIn stores, per destination, the latest valid path heard from each
-// peer. Paths containing the local AS are rejected at insertion (receiver-
-// side loop detection), so stored paths are always loop-free here.
-type adjRIBIn struct {
-	byDest map[ASN]map[NodeID]Path
+// locRIB is the Loc-RIB: one dense slot per destination index plus a
+// presence bitset. Presence must be tracked explicitly — a nil path is a
+// valid entry payload only for absent slots, while an empty non-nil path
+// is a real locally-originated route.
+type locRIB struct {
+	entries []locEntry
+	has     bitset
 }
 
-func newAdjRIBIn() *adjRIBIn {
-	return &adjRIBIn{byDest: make(map[ASN]map[NodeID]Path)}
+func newLocRIB(ndests int) locRIB {
+	return locRIB{entries: make([]locEntry, ndests), has: newBitset(ndests)}
+}
+
+// get returns the entry for dest.
+func (l *locRIB) get(dest ASN) (locEntry, bool) {
+	if !l.has.has(dest) {
+		return locEntry{}, false
+	}
+	return l.entries[dest], true
+}
+
+// ptr returns a pointer to the live entry for dest, or nil when absent.
+// The pointer is valid until the next reset/resize; callers use it to
+// update the export cache in place.
+func (l *locRIB) ptr(dest ASN) *locEntry {
+	if !l.has.has(dest) {
+		return nil
+	}
+	return &l.entries[dest]
+}
+
+// set installs e as the entry for dest.
+func (l *locRIB) set(dest ASN, e locEntry) {
+	l.entries[dest] = e
+	l.has.set(dest)
+}
+
+// del removes the entry for dest. The slot is zeroed so stale path
+// slices do not outlive the route.
+func (l *locRIB) del(dest ASN) {
+	l.entries[dest] = locEntry{}
+	l.has.clear(dest)
+}
+
+// reset empties the RIB in O(occupied entries).
+func (l *locRIB) reset() {
+	for wi, w := range l.has {
+		base := wi << 6
+		for w != 0 {
+			i := base + trailingZeros(w)
+			l.entries[i] = locEntry{}
+			w &= w - 1
+		}
+		l.has[wi] = 0
+	}
+}
+
+// ribSlot is a dense destination-indexed path table: the latest path per
+// dest plus a presence bitset (a nil stored path cannot stand in for
+// "absent" — withdrawn state must be distinguishable from a nil payload).
+// It backs both the per-peer Adj-RIB-In columns and the per-slot
+// advertised-route bookkeeping in router.
+type ribSlot struct {
+	paths []Path
+	has   bitset
+}
+
+func newRIBSlot(ndests int) ribSlot {
+	return ribSlot{paths: make([]Path, ndests), has: newBitset(ndests)}
+}
+
+// get returns the stored path for dest.
+func (s *ribSlot) get(dest ASN) (Path, bool) {
+	if !s.has.has(dest) {
+		return nil, false
+	}
+	return s.paths[dest], true
+}
+
+// set records path for dest.
+func (s *ribSlot) set(dest ASN, path Path) {
+	s.paths[dest] = path
+	s.has.set(dest)
+}
+
+// del removes the entry for dest, reporting whether one existed. The
+// path slot is nilled so stale slices do not outlive the route.
+func (s *ribSlot) del(dest ASN) bool {
+	if !s.has.has(dest) {
+		return false
+	}
+	s.paths[dest] = nil
+	s.has.clear(dest)
+	return true
+}
+
+// reset empties the table in O(occupied entries), retaining capacity.
+func (s *ribSlot) reset() {
+	for wi, w := range s.has {
+		base := wi << 6
+		for w != 0 {
+			s.paths[base+trailingZeros(w)] = nil
+			w &= w - 1
+		}
+		s.has[wi] = 0
+	}
+}
+
+// adjRIBIn stores, per peer slot, the latest valid path heard from that
+// peer for each destination. Paths containing the local AS are rejected
+// at insertion (receiver-side loop detection), so stored paths are always
+// loop-free here. Storage is a flat slot × dest array: destinations are
+// dense small integers (dest = AS·prefixesPerAS + i with dense AS
+// numbering), so the dest index is used directly.
+type adjRIBIn struct {
+	slotOf map[NodeID]int // shared with the owning router
+	slots  []ribSlot
+}
+
+// newAdjRIBIn returns an Adj-RIB-In for nslots peers and ndests dense
+// destination indices, resolving node IDs through slotOf.
+func newAdjRIBIn(slotOf map[NodeID]int, nslots, ndests int) *adjRIBIn {
+	rib := &adjRIBIn{slotOf: slotOf, slots: make([]ribSlot, nslots)}
+	for i := range rib.slots {
+		rib.slots[i] = newRIBSlot(ndests)
+	}
+	return rib
+}
+
+// resize re-dimensions the dest axis, emptying the table.
+func (rib *adjRIBIn) resize(ndests int) {
+	for i := range rib.slots {
+		if len(rib.slots[i].paths) != ndests {
+			rib.slots[i] = newRIBSlot(ndests)
+		} else {
+			rib.slots[i].reset()
+		}
+	}
+}
+
+// reset empties the table in O(occupied entries), retaining capacity.
+func (rib *adjRIBIn) reset() {
+	for i := range rib.slots {
+		rib.slots[i].reset()
+	}
+}
+
+// setSlot records path as the latest route for dest from the peer slot.
+func (rib *adjRIBIn) setSlot(slot int, dest ASN, path Path) {
+	rib.slots[slot].set(dest, path)
+}
+
+// removeSlot deletes the route for dest from the peer slot, reporting
+// whether one existed.
+func (rib *adjRIBIn) removeSlot(slot int, dest ASN) bool {
+	return rib.slots[slot].del(dest)
+}
+
+// getSlot returns the stored path for (slot, dest).
+func (rib *adjRIBIn) getSlot(slot int, dest ASN) (Path, bool) {
+	return rib.slots[slot].get(dest)
 }
 
 // set records path as the latest route for dest from peer node.
 func (rib *adjRIBIn) set(dest ASN, from NodeID, path Path) {
-	m, ok := rib.byDest[dest]
-	if !ok {
-		m = make(map[NodeID]Path)
-		rib.byDest[dest] = m
+	if slot, ok := rib.slotOf[from]; ok {
+		rib.setSlot(slot, dest, path)
 	}
-	m[from] = path
 }
 
 // remove deletes the route for dest from peer node, reporting whether one
 // existed.
 func (rib *adjRIBIn) remove(dest ASN, from NodeID) bool {
-	m, ok := rib.byDest[dest]
+	slot, ok := rib.slotOf[from]
 	if !ok {
 		return false
 	}
-	if _, had := m[from]; !had {
-		return false
-	}
-	delete(m, from)
-	if len(m) == 0 {
-		delete(rib.byDest, dest)
-	}
-	return true
+	return rib.removeSlot(slot, dest)
 }
 
 // get returns the stored path for (dest, from).
 func (rib *adjRIBIn) get(dest ASN, from NodeID) (Path, bool) {
-	m, ok := rib.byDest[dest]
+	slot, ok := rib.slotOf[from]
 	if !ok {
 		return nil, false
 	}
-	p, ok := m[from]
-	return p, ok
+	return rib.getSlot(slot, dest)
+}
+
+// destsViaSlot appends the destinations with a route from the peer slot
+// to buf in ascending (sorted) order and returns the extended slice.
+func (rib *adjRIBIn) destsViaSlot(slot int, buf []ASN) []ASN {
+	return rib.slots[slot].has.appendIndices(buf)
 }
 
 // destsVia returns the sorted destinations with a route from peer node.
 func (rib *adjRIBIn) destsVia(from NodeID) []ASN {
-	var out []ASN
-	for dest, m := range rib.byDest {
-		if _, ok := m[from]; ok {
-			out = append(out, dest)
-		}
+	slot, ok := rib.slotOf[from]
+	if !ok {
+		return nil
 	}
-	sort.Ints(out)
-	return out
+	return rib.destsViaSlot(slot, nil)
 }
 
 // decide runs the decision process for dest over the candidate routes in
@@ -114,10 +256,6 @@ func (rib *adjRIBIn) destsVia(from NodeID) []ASN {
 // length. self is the deciding router's node id.
 func decide(rib *adjRIBIn, dest ASN, peers []Peer, peerAlive []bool, damp *damper,
 	rel *topology.Relationships, self NodeID) (locEntry, bool) {
-	m, ok := rib.byDest[dest]
-	if !ok || len(m) == 0 {
-		return locEntry{}, false
-	}
 	best := locEntry{}
 	bestPeer := Peer{}
 	bestClass := 0
@@ -126,7 +264,7 @@ func decide(rib *adjRIBIn, dest ASN, peers []Peer, peerAlive []bool, damp *dampe
 		if peerAlive != nil && !peerAlive[slot] {
 			continue
 		}
-		path, ok := m[peer.Node]
+		path, ok := rib.getSlot(slot, dest)
 		if !ok {
 			continue
 		}

@@ -47,8 +47,18 @@ func TestUpdateIsWithdrawal(t *testing.T) {
 	}
 }
 
+// ribOver builds an Adj-RIB-In whose slots follow the given peer order,
+// sized for dense destination indices in [0, ndests).
+func ribOver(peers []Peer, ndests int) *adjRIBIn {
+	slotOf := make(map[NodeID]int, len(peers))
+	for slot, p := range peers {
+		slotOf[p.Node] = slot
+	}
+	return newAdjRIBIn(slotOf, len(peers), ndests)
+}
+
 func TestAdjRIBInSetGetRemove(t *testing.T) {
-	rib := newAdjRIBIn()
+	rib := ribOver([]Peer{{Node: 2, AS: 20}}, 8)
 	if _, ok := rib.get(1, 2); ok {
 		t.Error("empty RIB returned a route")
 	}
@@ -66,13 +76,16 @@ func TestAdjRIBInSetGetRemove(t *testing.T) {
 	if rib.remove(1, 2) {
 		t.Error("double remove returned true")
 	}
-	if _, ok := rib.byDest[1]; ok {
-		t.Error("empty destination map not cleaned up")
+	if rib.slots[0].has.any() {
+		t.Error("presence bit not cleared after remove")
+	}
+	if rib.slots[0].paths[1] != nil {
+		t.Error("stale path retained after remove")
 	}
 }
 
 func TestAdjRIBInDestsVia(t *testing.T) {
-	rib := newAdjRIBIn()
+	rib := ribOver([]Peer{{Node: 5}, {Node: 6}}, 40)
 	rib.set(30, 5, Path{1})
 	rib.set(10, 5, Path{1})
 	rib.set(20, 6, Path{2})
@@ -85,6 +98,34 @@ func TestAdjRIBInDestsVia(t *testing.T) {
 	}
 }
 
+func TestAdjRIBInReset(t *testing.T) {
+	rib := ribOver([]Peer{{Node: 1}, {Node: 2}}, 16)
+	rib.set(3, 1, Path{10, 3})
+	rib.set(7, 2, Path{20, 7})
+	rib.reset()
+	if _, ok := rib.get(3, 1); ok {
+		t.Error("route survived reset")
+	}
+	if _, ok := rib.get(7, 2); ok {
+		t.Error("route survived reset")
+	}
+	for slot := range rib.slots {
+		if rib.slots[slot].has.any() {
+			t.Errorf("slot %d presence bits survived reset", slot)
+		}
+		for dest, p := range rib.slots[slot].paths {
+			if p != nil {
+				t.Errorf("slot %d dest %d retained path %v after reset", slot, dest, p)
+			}
+		}
+	}
+	// The table must stay usable after reset.
+	rib.set(3, 1, Path{10, 3})
+	if p, ok := rib.get(3, 1); !ok || len(p) != 2 {
+		t.Error("set/get after reset failed")
+	}
+}
+
 func testPeers() []Peer {
 	return []Peer{
 		{Node: 1, AS: 10, Internal: false},
@@ -94,7 +135,7 @@ func testPeers() []Peer {
 }
 
 func TestDecideShortestPathWins(t *testing.T) {
-	rib := newAdjRIBIn()
+	rib := ribOver(testPeers(), 100)
 	rib.set(99, 1, Path{10, 40, 99})
 	rib.set(99, 2, Path{20, 99})
 	e, ok := decide(rib, 99, testPeers(), nil, nil, nil, 0)
@@ -107,7 +148,7 @@ func TestDecideShortestPathWins(t *testing.T) {
 }
 
 func TestDecideEBGPBeatsIBGPAtEqualLength(t *testing.T) {
-	rib := newAdjRIBIn()
+	rib := ribOver(testPeers(), 100)
 	rib.set(99, 3, Path{20, 99}) // internal peer
 	rib.set(99, 2, Path{20, 99}) // external peer, same length
 	e, ok := decide(rib, 99, testPeers(), nil, nil, nil, 0)
@@ -120,7 +161,7 @@ func TestDecideEBGPBeatsIBGPAtEqualLength(t *testing.T) {
 }
 
 func TestDecideTieBreaksLowestPeerAS(t *testing.T) {
-	rib := newAdjRIBIn()
+	rib := ribOver(testPeers(), 100)
 	rib.set(99, 1, Path{10, 99})
 	rib.set(99, 2, Path{20, 99})
 	e, ok := decide(rib, 99, testPeers(), nil, nil, nil, 0)
@@ -130,7 +171,7 @@ func TestDecideTieBreaksLowestPeerAS(t *testing.T) {
 }
 
 func TestDecideSkipsDeadPeers(t *testing.T) {
-	rib := newAdjRIBIn()
+	rib := ribOver(testPeers(), 100)
 	rib.set(99, 1, Path{10, 99})
 	rib.set(99, 2, Path{20, 30, 99})
 	alive := []bool{false, true, true}
@@ -141,7 +182,7 @@ func TestDecideSkipsDeadPeers(t *testing.T) {
 }
 
 func TestDecideNoRoutes(t *testing.T) {
-	rib := newAdjRIBIn()
+	rib := ribOver(testPeers(), 100)
 	if _, ok := decide(rib, 99, testPeers(), nil, nil, nil, 0); ok {
 		t.Error("decision on empty RIB returned a route")
 	}

@@ -1,7 +1,6 @@
 package bgp
 
 import (
-	"sort"
 	"time"
 
 	"bgpsim/internal/des"
@@ -13,6 +12,13 @@ import (
 // router is one BGP speaker: RIBs, per-peer MRAI timers, a serial CPU fed
 // by the configured input queue, and the advertisement bookkeeping that
 // suppresses no-op updates.
+//
+// All per-destination state is held in dense arrays indexed by the
+// Simulator-owned dest index (see Simulator.ndests): the Adj-RIB-In and
+// Loc-RIB, the per-slot advertised paths, the pending bitsets, the
+// per-destination MRAI gates, and the flap counters. Dense storage keeps
+// steady-state routing churn allocation-free and lets reset rewind a
+// router in O(occupied entries) for simulator reuse.
 type router struct {
 	id    NodeID
 	as    ASN
@@ -23,19 +29,22 @@ type router struct {
 	peerAlive []bool
 	slotOf    map[NodeID]int
 
+	ndests     int // dest-index capacity all dense arrays are sized for
 	adjIn      *adjRIBIn
-	loc        map[ASN]locEntry
-	originates map[ASN]bool
+	loc        locRIB
+	originates bitset
 
 	// Per-slot advertisement state.
-	advertised []map[ASN]Path     // last announcement per destination (absent = withdrawn/never)
-	pending    []map[ASN]struct{} // destinations needing re-advertisement
-	nextSend   []des.Time         // per-peer MRAI gate: announcements allowed at/after this time
-	destGate   []map[ASN]des.Time // per-destination gates (PerDestinationMRAI ablation)
-	flushEv    []*des.Event       // scheduled deferred flush per slot
+	advertised []ribSlot    // last announcement per destination (absent = withdrawn/never)
+	pending    []bitset     // destinations needing re-advertisement (drained in ascending order)
+	nextSend   []des.Time   // per-peer MRAI gate: announcements allowed at/after this time
+	destGate   [][]des.Time // per-destination gates (PerDestinationMRAI ablation); zero = open
+	flushEv    []*des.Event // scheduled deferred flush per slot
 
-	inbox Inbox
-	busy  bool
+	inbox        Inbox
+	inboxQueue   QueueDiscipline // discipline inbox was built for (reset reuses on match)
+	inboxDiscard bool            // BatchDiscardStale inbox was built for
+	busy         bool
 
 	policy mrai.Policy
 
@@ -43,11 +52,12 @@ type router struct {
 	// loop (enqueue -> process -> decide -> flush) runs millions of times
 	// per experiment; everything here exists so that steady-state
 	// iterations allocate nothing.
-	proc         procTask    // the single in-flight CPU-completion task
-	flushTasks   []flushTask // per-slot deferred-flush tasks
-	destsScratch []ASN       // tryFlush's sorted pending-destination list
-	touched      map[ASN]struct{}
-	changed      []ASN
+	proc            procTask    // the single in-flight CPU-completion task
+	flushTasks      []flushTask // per-slot deferred-flush tasks
+	destsScratch    []ASN       // tryFlush's sorted pending-destination list
+	affectedScratch []ASN       // peerDown's sorted affected-destination list
+	touched         bitset
+	changed         []ASN
 
 	// Load accounting for mrai.Snapshot.
 	busyAccum     time.Duration
@@ -57,58 +67,124 @@ type router struct {
 	msgsSinceSnap int
 
 	// flapCount drives the Deshpande–Sikdar flap gate.
-	flapCount map[ASN]int
+	flapCount []int32
 
 	// damper holds RFC 2439 flap-damping state (nil when disabled).
 	damper *damper
 }
 
-func newRouter(id NodeID, as ASN, peers []Peer, p Params, factory mrai.Factory, sim *Simulator) *router {
+// newRouter builds the topology-dependent skeleton of a router (peer
+// slots, scratch tasks, empty RIB shells). All parameter- and
+// destination-dependent state is installed by reset, which New and
+// Simulator.Reset share so a reused simulator cannot drift from a fresh
+// one.
+func newRouter(id NodeID, as ASN, peers []Peer, sim *Simulator) *router {
 	r := &router{
 		id:         id,
 		as:         as,
-		alive:      true,
 		sim:        sim,
 		peers:      peers,
 		peerAlive:  make([]bool, len(peers)),
 		slotOf:     make(map[NodeID]int, len(peers)),
-		adjIn:      newAdjRIBIn(),
-		loc:        make(map[ASN]locEntry),
-		originates: make(map[ASN]bool),
-		advertised: make([]map[ASN]Path, len(peers)),
-		pending:    make([]map[ASN]struct{}, len(peers)),
 		nextSend:   make([]des.Time, len(peers)),
 		flushEv:    make([]*des.Event, len(peers)),
-		inbox:      newInbox(p),
-		policy:     factory(len(peers)),
-		flapCount:  make(map[ASN]int),
+		advertised: make([]ribSlot, len(peers)),
+		pending:    make([]bitset, len(peers)),
 		flushTasks: make([]flushTask, len(peers)),
-		touched:    make(map[ASN]struct{}),
 	}
 	r.proc.r = r
 	for slot, peer := range peers {
-		r.peerAlive[slot] = true
 		r.slotOf[peer.Node] = slot
-		r.advertised[slot] = make(map[ASN]Path)
-		r.pending[slot] = make(map[ASN]struct{})
 		r.flushTasks[slot] = flushTask{r: r, slot: slot}
 	}
-	if p.PerDestinationMRAI {
-		r.destGate = make([]map[ASN]des.Time, len(peers))
-		for slot := range peers {
-			r.destGate[slot] = make(map[ASN]des.Time)
+	r.adjIn = &adjRIBIn{slotOf: r.slotOf, slots: make([]ribSlot, len(peers))}
+	return r
+}
+
+// reset rewinds the router to its boot state for a run with parameters p
+// over ndests dense destination indices: empty RIBs, all sessions up,
+// open MRAI gates, an empty inbox (reused when the queue discipline is
+// unchanged), fresh policy/damping state, and zeroed load accounting.
+// Dense arrays are cleared sparsely (O(occupied entries)) and retained,
+// so repeated trials on one topology allocate almost nothing.
+func (r *router) reset(p Params, ndests int) {
+	r.alive = true
+	r.busy = false
+	r.proc.batch = nil
+	if r.ndests != ndests {
+		r.ndests = ndests
+		r.adjIn.resize(ndests)
+		r.loc = newLocRIB(ndests)
+		r.originates = newBitset(ndests)
+		for slot := range r.advertised {
+			r.advertised[slot] = newRIBSlot(ndests)
 		}
+		for slot := range r.pending {
+			r.pending[slot] = newBitset(ndests)
+		}
+		r.flapCount = make([]int32, ndests)
+		r.touched = newBitset(ndests)
+	} else {
+		r.adjIn.reset()
+		r.loc.reset()
+		r.originates.clearAll()
+		for slot := range r.advertised {
+			r.advertised[slot].reset()
+		}
+		for slot := range r.pending {
+			r.pending[slot].clearAll()
+		}
+		for i := range r.flapCount {
+			r.flapCount[i] = 0
+		}
+		r.touched.clearAll()
 	}
+	for slot := range r.peers {
+		r.peerAlive[slot] = true
+		r.nextSend[slot] = 0
+		r.flushEv[slot] = nil
+	}
+	if p.PerDestinationMRAI {
+		if len(r.destGate) != len(r.peers) || (len(r.peers) > 0 && len(r.destGate[0]) != ndests) {
+			r.destGate = make([][]des.Time, len(r.peers))
+			for slot := range r.destGate {
+				r.destGate[slot] = make([]des.Time, ndests)
+			}
+		} else {
+			for slot := range r.destGate {
+				gates := r.destGate[slot]
+				for i := range gates {
+					gates[i] = 0
+				}
+			}
+		}
+	} else {
+		r.destGate = nil
+	}
+	if r.inbox == nil || r.inboxQueue != p.Queue || r.inboxDiscard != p.BatchDiscardStale {
+		r.inbox = newInbox(p)
+	} else {
+		r.inbox.Reset()
+	}
+	r.inboxQueue, r.inboxDiscard = p.Queue, p.BatchDiscardStale
+	r.policy = p.MRAI(len(r.peers))
 	if p.Damping != nil {
 		r.damper = newDamper(p.Damping)
+	} else {
+		r.damper = nil
 	}
-	return r
+	r.busyAccum, r.lastSnapBusy = 0, 0
+	r.busyStart, r.lastSnapTime = 0, 0
+	r.msgsSinceSnap = 0
+	r.destsScratch = r.destsScratch[:0]
+	r.affectedScratch = r.affectedScratch[:0]
+	r.changed = r.changed[:0]
 }
 
 // originate installs a locally originated prefix and advertises it.
 func (r *router) originate(dest ASN) {
-	r.originates[dest] = true
-	r.loc[dest] = selfRoute()
+	r.originates.set(dest)
+	r.loc.set(dest, selfRoute())
 	r.markPendingAll(dest)
 	r.flushAll()
 }
@@ -208,7 +284,9 @@ func (r *router) startProcessing() {
 // finishProcessing applies a processed work unit: Adj-RIB-In updates for
 // every message, then one decision-process pass per touched destination
 // (the batching scheme's "process all updates for a destination
-// together"), then advertisement flushing.
+// together"), then advertisement flushing. Touched destinations are
+// collected in a bitset and drained in ascending order — the same sorted
+// order the previous map+sort implementation produced.
 func (r *router) finishProcessing(batch []Update) {
 	if !r.alive {
 		return
@@ -223,7 +301,6 @@ func (r *router) finishProcessing(batch []Update) {
 	})
 
 	touched := r.touched
-	clear(touched)
 	for _, u := range batch {
 		// Drop updates from peers that died while the message was queued.
 		slot, ok := r.slotOf[u.From]
@@ -237,26 +314,23 @@ func (r *router) finishProcessing(batch []Update) {
 		if u.IsWithdrawal() || pathContains(u.Path, r.as) {
 			// Receiver-side loop detection treats a looped path as an
 			// implicit withdrawal of the peer's previous route.
-			flapped = r.adjIn.remove(u.Dest, u.From)
+			flapped = r.adjIn.removeSlot(slot, u.Dest)
 		} else {
-			prev, had := r.adjIn.get(u.Dest, u.From)
+			prev, had := r.adjIn.getSlot(slot, u.Dest)
 			flapped = had && !pathsEqual(prev, u.Path)
-			r.adjIn.set(u.Dest, u.From, u.Path)
+			r.adjIn.setSlot(slot, u.Dest, u.Path)
 		}
 		if flapped && r.damper != nil {
 			r.penalize(u.Dest, u.From)
 		}
-		touched[u.Dest] = struct{}{}
+		touched.set(u.Dest)
 	}
 
-	changed := r.changed[:0]
-	for dest := range touched {
-		changed = append(changed, dest)
-	}
-	sort.Ints(changed)
+	changed := touched.appendIndices(r.changed[:0])
 	r.changed = changed
 	anyChanged := false
 	for _, dest := range changed {
+		touched.clear(dest)
 		if r.runDecision(dest) {
 			r.markPendingAll(dest)
 			anyChanged = true
@@ -274,7 +348,7 @@ func (r *router) finishProcessing(batch []Update) {
 // runDecision recomputes the best route for dest. It returns true when
 // the Loc-RIB entry changed in any way that affects advertisements.
 func (r *router) runDecision(dest ASN) bool {
-	old, hadOld := r.loc[dest]
+	old, hadOld := r.loc.get(dest)
 	if hadOld && old.isSelf() {
 		return false // locally originated routes are never displaced
 	}
@@ -283,11 +357,11 @@ func (r *router) runDecision(dest ASN) bool {
 	case !ok && !hadOld:
 		return false
 	case !ok:
-		delete(r.loc, dest)
+		r.loc.del(dest)
 	case hadOld && best.sameAs(old):
 		return false
 	default:
-		r.loc[dest] = best
+		r.loc.set(dest, best)
 	}
 	pathChanged := !hadOld || !ok || !pathsEqual(old.path, best.path)
 	if pathChanged {
@@ -311,12 +385,12 @@ func (r *router) runDecision(dest ASN) bool {
 // applies the Deshpande–Sikdar timer cancellation when configured.
 func (r *router) markPendingAll(dest ASN) {
 	now := r.sim.eng.Now()
-	_, valid := r.loc[dest]
+	valid := r.loc.has.has(dest)
 	for slot := range r.peers {
 		if !r.peerAlive[slot] {
 			continue
 		}
-		r.pending[slot][dest] = struct{}{}
+		r.pending[slot].set(dest)
 		if r.sim.params.CancelOnChange && valid && r.nextSend[slot] > now {
 			r.nextSend[slot] = now
 		}
@@ -334,21 +408,19 @@ func (r *router) flushAll() {
 // immediately (unless RateLimitWithdrawals), announcements when the
 // per-peer (or per-destination) MRAI gate is open. When announcements are
 // sent the gate rearms with the policy's current MRAI, jittered per
-// RFC 1771. Blocked announcements get a deferred flush event.
+// RFC 1771. Blocked announcements get a deferred flush event. The
+// pending bitset is drained in ascending destination order — identical
+// to the sorted snapshot the map-based implementation flushed.
 func (r *router) tryFlush(slot int) {
 	if !r.alive || !r.peerAlive[slot] {
 		return
 	}
 	pend := r.pending[slot]
-	if len(pend) == 0 {
+	if !pend.any() {
 		return
 	}
 	now := r.sim.eng.Now()
-	dests := r.destsScratch[:0]
-	for dest := range pend {
-		dests = append(dests, dest)
-	}
-	sort.Ints(dests)
+	dests := pend.appendIndices(r.destsScratch[:0])
 	r.destsScratch = dests
 
 	peerAllowed := now >= r.nextSend[slot]
@@ -361,11 +433,12 @@ func (r *router) tryFlush(slot int) {
 		}
 	}
 
+	adv := &r.advertised[slot]
 	for _, dest := range dests {
 		desired := r.desiredAdvert(dest, slot)
-		last, hadLast := r.advertised[slot][dest]
+		last, hadLast := adv.get(dest)
 		if pathsEqual(desired, last) && (desired != nil || !hadLast) {
-			delete(pend, dest)
+			pend.clear(dest)
 			continue
 		}
 		if desired == nil {
@@ -375,8 +448,8 @@ func (r *router) tryFlush(slot int) {
 				continue
 			}
 			r.send(slot, Update{From: r.id, Dest: dest, Path: nil})
-			delete(r.advertised[slot], dest)
-			delete(pend, dest)
+			adv.del(dest)
+			pend.clear(dest)
 			sentAny = true
 			if r.sim.params.RateLimitWithdrawals {
 				sentGated = true
@@ -387,14 +460,14 @@ func (r *router) tryFlush(slot int) {
 			continue
 		}
 		// Announcement.
-		bypass := r.sim.params.FlapGate > 0 && r.flapCount[dest] < r.sim.params.FlapGate
+		bypass := r.sim.params.FlapGate > 0 && int(r.flapCount[dest]) < r.sim.params.FlapGate
 		if !bypass && !r.destAllowed(slot, dest, peerAllowed) {
 			noteBlocked(r.gateTime(slot, dest))
 			continue
 		}
 		r.send(slot, Update{From: r.id, Dest: dest, Path: desired})
-		r.advertised[slot][dest] = desired
-		delete(pend, dest)
+		adv.set(dest, desired)
+		pend.clear(dest)
 		sentAny = true
 		if !bypass {
 			sentGated = true
@@ -410,7 +483,7 @@ func (r *router) tryFlush(slot int) {
 	if sentAny {
 		r.sim.col.NotePacket(now)
 	}
-	if len(pend) > 0 {
+	if pend.any() {
 		if r.destGate == nil {
 			minBlocked = r.nextSend[slot]
 		}
@@ -493,8 +566,8 @@ func (r *router) send(slot int, u Update) {
 //   - to an external peer the local AS is prepended, and the route is
 //     suppressed if the peer's AS already appears on the path.
 func (r *router) desiredAdvert(dest ASN, slot int) Path {
-	e, ok := r.loc[dest]
-	if !ok {
+	e := r.loc.ptr(dest)
+	if e == nil {
 		return nil
 	}
 	peer := r.peers[slot]
@@ -526,10 +599,10 @@ func (r *router) desiredAdvert(dest ASN, slot int) Path {
 	}
 	if e.export == nil {
 		// First external advertisement of this entry: compute the prepended
-		// path once and cache it on the Loc-RIB entry so every other peer
-		// (and every later flush retry) shares the same immutable slice.
+		// path once and cache it in place on the Loc-RIB entry so every
+		// other peer (and every later flush retry) shares the same
+		// immutable slice.
 		e.export = prependPath(r.as, e.path)
-		r.loc[dest] = e
 	}
 	return e.export
 }
@@ -551,12 +624,15 @@ func (r *router) kill() {
 func (r *router) revive() {
 	r.alive = true
 	r.busy = false
-	r.adjIn = newAdjRIBIn()
-	r.loc = make(map[ASN]locEntry)
-	r.originates = make(map[ASN]bool)
+	r.adjIn.reset()
+	r.loc.reset()
+	r.originates.clearAll()
 	r.inbox = newInbox(r.sim.params)
+	r.inboxQueue, r.inboxDiscard = r.sim.params.Queue, r.sim.params.BatchDiscardStale
 	r.policy = r.sim.params.MRAI(len(r.peers))
-	r.flapCount = make(map[ASN]int)
+	for i := range r.flapCount {
+		r.flapCount[i] = 0
+	}
 	if r.sim.params.Damping != nil {
 		r.damper = newDamper(r.sim.params.Damping)
 	}
@@ -565,13 +641,16 @@ func (r *router) revive() {
 	r.msgsSinceSnap = 0
 	for slot := range r.peers {
 		r.peerAlive[slot] = false
-		r.advertised[slot] = make(map[ASN]Path)
-		r.pending[slot] = make(map[ASN]struct{})
+		r.advertised[slot].reset()
+		r.pending[slot].clearAll()
 		r.nextSend[slot] = 0
 		r.sim.eng.Cancel(r.flushEv[slot])
 		r.flushEv[slot] = nil
 		if r.destGate != nil {
-			r.destGate[slot] = make(map[ASN]des.Time)
+			gates := r.destGate[slot]
+			for i := range gates {
+				gates[i] = 0
+			}
 		}
 	}
 }
@@ -583,10 +662,11 @@ func (r *router) peerUp(slot int) {
 		return
 	}
 	r.peerAlive[slot] = true
-	r.advertised[slot] = make(map[ASN]Path)
+	r.advertised[slot].reset()
 	r.nextSend[slot] = 0
-	for dest := range r.loc {
-		r.pending[slot][dest] = struct{}{}
+	pend := r.pending[slot]
+	for wi := range pend {
+		pend[wi] |= r.loc.has[wi]
 	}
 	r.tryFlush(slot)
 }
@@ -604,15 +684,16 @@ func (r *router) peerDown(slot int) {
 		At: r.sim.eng.Now(), Kind: trace.KindSessionDown, Node: r.id,
 		Peer: peer.Node, Dest: -1,
 	})
-	r.pending[slot] = make(map[ASN]struct{})
-	r.advertised[slot] = make(map[ASN]Path)
+	r.pending[slot].clearAll()
+	r.advertised[slot].reset()
 	r.sim.eng.Cancel(r.flushEv[slot])
 	r.flushEv[slot] = nil
 
-	affected := r.adjIn.destsVia(peer.Node)
+	affected := r.adjIn.destsViaSlot(slot, r.affectedScratch[:0])
+	r.affectedScratch = affected
 	anyChanged := false
 	for _, dest := range affected {
-		r.adjIn.remove(dest, peer.Node)
+		r.adjIn.removeSlot(slot, dest)
 		if r.runDecision(dest) {
 			r.markPendingAll(dest)
 			anyChanged = true

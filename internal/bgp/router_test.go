@@ -30,6 +30,7 @@ func lineSim(t *testing.T, p Params) *Simulator {
 	if err != nil {
 		t.Fatal(err)
 	}
+	sim.widenDestsForTest(128)
 	return sim
 }
 
@@ -45,7 +46,7 @@ func TestDesiredAdvertRules(t *testing.T) {
 
 	// Route learned from node 0: advertise to node 2 with own AS
 	// prepended; never back to node 0 (split horizon).
-	r.loc[7] = locEntry{path: Path{0, 7}, from: 0}
+	r.loc.set(7, locEntry{path: Path{0, 7}, from: 0})
 	if got := r.desiredAdvert(7, 0); got != nil {
 		t.Errorf("split horizon violated: %v", got)
 	}
@@ -55,13 +56,13 @@ func TestDesiredAdvertRules(t *testing.T) {
 	}
 
 	// Peer's AS already on the path: suppress.
-	r.loc[8] = locEntry{path: Path{0, 2, 8}, from: 0}
+	r.loc.set(8, locEntry{path: Path{0, 2, 8}, from: 0})
 	if got := r.desiredAdvert(8, 1); got != nil {
 		t.Errorf("loop advert to peer on path: %v", got)
 	}
 
 	// Own prefix: prepend own AS only.
-	r.loc[1] = selfRoute()
+	r.loc.set(1, selfRoute())
 	if got := r.desiredAdvert(1, 1); !pathsEqual(got, Path{1}) {
 		t.Errorf("own prefix advert = %v, want [1]", got)
 	}
@@ -78,10 +79,11 @@ func TestDesiredAdvertIBGPRules(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	sim.widenDestsForTest(128)
 	r1 := sim.routers[1] // slots: 0 -> node 0 (internal), 1 -> node 2 (external)
 
 	// EBGP-learned route goes to the IBGP peer unchanged.
-	r1.loc[9] = locEntry{path: Path{2, 9}, from: 2}
+	r1.loc.set(9, locEntry{path: Path{2, 9}, from: 2})
 	if got := r1.desiredAdvert(9, 0); !pathsEqual(got, Path{2, 9}) {
 		t.Errorf("IBGP advert = %v, want unchanged [2 9]", got)
 	}
@@ -91,7 +93,7 @@ func TestDesiredAdvertIBGPRules(t *testing.T) {
 	}
 
 	// IBGP-learned route must not be relayed to IBGP peers.
-	r1.loc[5] = locEntry{path: Path{7, 5}, from: 0, fromInternal: true}
+	r1.loc.set(5, locEntry{path: Path{7, 5}, from: 0, fromInternal: true})
 	if got := r1.desiredAdvert(5, 0); got != nil {
 		t.Errorf("IBGP relay to source: %v", got)
 	}
@@ -112,8 +114,8 @@ func TestMRAIGatesSecondAnnouncement(t *testing.T) {
 	if r1.nextSend[slotTo2] != m {
 		t.Fatalf("nextSend = %v, want %v (no jitter)", r1.nextSend[slotTo2], m)
 	}
-	if !pathsEqual(r1.advertised[slotTo2][1], Path{1}) {
-		t.Fatalf("first announcement not sent: %v", r1.advertised[slotTo2])
+	if got, _ := r1.advertised[slotTo2].get(1); !pathsEqual(got, Path{1}) {
+		t.Fatalf("first announcement not sent: %v", got)
 	}
 
 	// A new route appears while the timer runs: it must wait until t=m.
@@ -123,7 +125,7 @@ func TestMRAIGatesSecondAnnouncement(t *testing.T) {
 	}
 	r1.markPendingAll(7)
 	r1.flushAll()
-	if _, sent := r1.advertised[slotTo2][7]; sent {
+	if _, sent := r1.advertised[slotTo2].get(7); sent {
 		t.Fatal("announcement escaped the MRAI gate")
 	}
 	if r1.flushEv[slotTo2] == nil {
@@ -136,7 +138,7 @@ func TestMRAIGatesSecondAnnouncement(t *testing.T) {
 	if err := sim.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if got := r1.advertised[slotTo2][7]; !pathsEqual(got, Path{1, 0, 7}) {
+	if got, _ := r1.advertised[slotTo2].get(7); !pathsEqual(got, Path{1, 0, 7}) {
 		t.Fatalf("deferred announcement = %v, want [1 0 7]", got)
 	}
 	// The deferred send rearmed the timer from t=m.
@@ -160,7 +162,7 @@ func TestWithdrawalBypassesMRAI(t *testing.T) {
 	r1.adjIn.remove(7, 0)
 	r1.runDecision(7)
 	r1.flushAll()
-	if _, ok := r1.advertised[slotTo2][7]; ok {
+	if _, ok := r1.advertised[slotTo2].get(7); ok {
 		t.Fatal("phantom advertisement")
 	}
 
@@ -179,7 +181,7 @@ func TestWithdrawalBypassesMRAI(t *testing.T) {
 	r1.runDecision(8)
 	r1.markPendingAll(8)
 	r1.flushAll() // sends at `now`, rearms timer to now+m
-	if !pathsEqual(r1.advertised[slotTo2][8], Path{1, 0, 8}) {
+	if got, _ := r1.advertised[slotTo2].get(8); !pathsEqual(got, Path{1, 0, 8}) {
 		t.Fatal("announcement for dest 8 missing")
 	}
 	before := sim.col.TotalMessages
@@ -187,7 +189,7 @@ func TestWithdrawalBypassesMRAI(t *testing.T) {
 	r1.runDecision(8)
 	r1.markPendingAll(8)
 	r1.flushAll()
-	if _, ok := r1.advertised[slotTo2][8]; ok {
+	if _, ok := r1.advertised[slotTo2].get(8); ok {
 		t.Fatal("withdrawal blocked by MRAI")
 	}
 	if sim.col.TotalMessages == before {
@@ -276,18 +278,18 @@ func TestPeerDownInvalidatesRoutesAndCleansState(t *testing.T) {
 	}
 	r1 := sim.routers[1]
 	slotTo0 := r1.slotOf[0]
-	if _, ok := r1.loc[0]; !ok {
+	if _, ok := r1.loc.get(0); !ok {
 		t.Fatal("no route to AS 0 before failure")
 	}
 	sim.routers[0].kill()
 	r1.peerDown(slotTo0)
-	if _, ok := r1.loc[0]; ok {
+	if _, ok := r1.loc.get(0); ok {
 		t.Error("route via dead peer survived")
 	}
 	if r1.peerAlive[slotTo0] {
 		t.Error("peer still alive")
 	}
-	if len(r1.advertised[slotTo0]) != 0 || len(r1.pending[slotTo0]) != 0 {
+	if r1.advertised[slotTo0].has.any() || r1.pending[slotTo0].any() {
 		t.Error("per-slot state not cleared")
 	}
 	// Double peerDown is a no-op.
@@ -296,7 +298,7 @@ func TestPeerDownInvalidatesRoutesAndCleansState(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Node 2 must have learned the withdrawal of AS 0.
-	if _, ok := sim.routers[2].loc[0]; ok {
+	if _, ok := sim.routers[2].loc.get(0); ok {
 		t.Error("withdrawal did not propagate to node 2")
 	}
 }
@@ -315,7 +317,7 @@ func TestReceiverSideLoopDetection(t *testing.T) {
 	if _, ok := r1.adjIn.get(9, 0); ok {
 		t.Error("looped path stored in Adj-RIB-In")
 	}
-	if _, ok := r1.loc[9]; ok {
+	if _, ok := r1.loc.get(9); ok {
 		t.Error("looped path selected")
 	}
 }

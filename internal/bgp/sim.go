@@ -22,6 +22,17 @@ import (
 //	sim.ScheduleFailure(failAt, nodes)
 //	sim.Run()                        // phase 2: re-convergence
 //	delay := sim.Collector().ConvergenceDelay()
+//
+// A Simulator is reusable: Reset rewinds it to time zero with a fresh
+// parameter set, retaining the dense per-router state arrays, so
+// repeated trials on one topology skip nearly all of the per-trial
+// setup allocation that bgp.New pays.
+//
+// The Simulator owns the dense destination-index table: destination
+// prefix ids are dest = AS·PrefixesPerAS + i with dense AS numbering
+// (every in-tree generator numbers ASes 0..k-1), so a prefix id is used
+// directly as the index into every per-router dense array. ndests is
+// the table size, (maxAS+1)·PrefixesPerAS.
 type Simulator struct {
 	net     *topology.Network
 	params  Params
@@ -29,8 +40,9 @@ type Simulator struct {
 	rng     *des.RNG
 	routers []*router
 	col     *metrics.Collector
-	origins map[int]NodeID // destination prefix -> originating router
-	nprefix int            // prefixes per AS
+	origins []NodeID // dense: destination prefix -> originating router, -1 none
+	nprefix int      // prefixes per AS
+	ndests  int      // dense dest-index table size
 	tracer  trace.Tracer
 
 	// freeDeliveries is the free list of in-flight message events. A
@@ -89,7 +101,9 @@ func (s *Simulator) emit(e trace.Event) {
 
 // New builds a simulator over net. The network must be non-empty; every
 // AS originates PrefixesPerAS prefixes (default one) at its
-// lowest-numbered router.
+// lowest-numbered router. New builds the topology-dependent skeleton and
+// then delegates all run-state initialization to Reset, so a fresh
+// simulator and a reused one are states of the same code path.
 func New(net *topology.Network, params Params) (*Simulator, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
@@ -98,66 +112,107 @@ func New(net *topology.Network, params Params) (*Simulator, error) {
 		return nil, fmt.Errorf("bgp: empty network")
 	}
 	s := &Simulator{
-		net:     net,
-		params:  params,
-		eng:     des.NewEngine(),
-		rng:     des.NewRNG(params.Seed),
-		col:     metrics.NewCollector(net.NumNodes()),
-		origins: make(map[int]NodeID),
-		nprefix: max(1, params.PrefixesPerAS),
-		tracer:  params.Tracer,
+		net: net,
+		eng: des.NewEngine(),
+		col: metrics.NewCollector(net.NumNodes()),
 	}
 	s.routers = make([]*router, net.NumNodes())
 	for id := 0; id < net.NumNodes(); id++ {
 		nbs := net.Neighbors(id)
 		peers := make([]Peer, 0, len(nbs))
 		for _, nb := range nbs {
-			delay := params.ExtDelay
-			if nb.Internal {
-				delay = params.IntDelay
-			}
 			peers = append(peers, Peer{
 				Node:     nb.ID,
 				AS:       net.ASOf(nb.ID),
 				Internal: nb.Internal,
-				Delay:    delay,
 			})
 		}
 		// Stable peer order: by node id. Slot order drives tie-breaking
 		// iteration and message emission order.
 		sort.Slice(peers, func(i, j int) bool { return peers[i].Node < peers[j].Node })
-		s.routers[id] = newRouter(id, net.ASOf(id), peers, params, params.MRAI, s)
+		s.routers[id] = newRouter(id, net.ASOf(id), peers, s)
 	}
-	for id := 0; id < net.NumNodes(); id++ {
-		as := net.ASOf(id)
+	if err := s.Reset(params); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Reset rewinds the simulator to time zero for a new run with the given
+// parameters (including a new Seed): RIBs, advertisement bookkeeping,
+// MRAI gates, inboxes, the metrics collector, the RNG, and the DES clock
+// all return to their post-New state. The topology is retained — a reset
+// simulator behaves byte-identically to bgp.New(s.Network(), params).
+// Reset must not be called while a run is in progress (events pending in
+// the engine are discarded).
+//
+// Retained across Reset: the dense per-router state arrays (cleared, not
+// reallocated), inbox buffers when the queue discipline is unchanged,
+// the engine's event free list, and the delivery pool — which is what
+// makes repeated-trial sweeps cheap.
+func (s *Simulator) Reset(params Params) error {
+	if err := params.Validate(); err != nil {
+		return err
+	}
+	s.params = params
+	s.nprefix = max(1, params.PrefixesPerAS)
+	s.tracer = params.Tracer
+	s.rng = des.NewRNG(params.Seed)
+	s.eng.Reset()
+	s.col.Reset()
+
+	maxAS := 0
+	for id := 0; id < s.net.NumNodes(); id++ {
+		if as := s.net.ASOf(id); as > maxAS {
+			maxAS = as
+		}
+	}
+	s.ndests = (maxAS + 1) * s.nprefix
+	if len(s.origins) != s.ndests {
+		s.origins = make([]NodeID, s.ndests)
+	}
+	for i := range s.origins {
+		s.origins[i] = -1
+	}
+	for id := 0; id < s.net.NumNodes(); id++ {
+		as := s.net.ASOf(id)
 		for i := 0; i < s.nprefix; i++ {
 			dest := as*s.nprefix + i
-			if cur, ok := s.origins[dest]; !ok || id < cur {
+			if cur := s.origins[dest]; cur < 0 || id < cur {
 				s.origins[dest] = id
 			}
 		}
 	}
-	return s, nil
+
+	for _, r := range s.routers {
+		for slot := range r.peers {
+			delay := params.ExtDelay
+			if r.peers[slot].Internal {
+				delay = params.IntDelay
+			}
+			r.peers[slot].Delay = delay
+		}
+		r.reset(params, s.ndests)
+	}
+	return nil
 }
 
 // ASOfDest returns the AS that originates destination prefix dest.
 func (s *Simulator) ASOfDest(dest int) ASN { return dest / s.nprefix }
 
 // Start schedules the origination of every prefix, staggered uniformly
-// over OriginationSpread.
+// over OriginationSpread. Destinations are scheduled in ascending order
+// (the dense origin table's natural order).
 func (s *Simulator) Start() {
-	dests := make([]int, 0, len(s.origins))
-	for dest := range s.origins {
-		dests = append(dests, dest)
-	}
-	sort.Ints(dests)
-	for _, dest := range dests {
-		id := s.origins[dest]
+	for dest, id := range s.origins {
+		if id < 0 {
+			continue
+		}
 		var at des.Time
 		if s.params.OriginationSpread > 0 {
 			at = s.rng.UniformDuration(0, s.params.OriginationSpread)
 		}
-		dest := dest
+		id, dest := id, dest
 		s.eng.ScheduleAt(at, func() { s.routers[id].originate(dest) })
 	}
 }
@@ -277,7 +332,7 @@ func (s *Simulator) ScheduleRecovery(at des.Time, nodes []int) {
 			as := s.net.ASOf(id)
 			for i := 0; i < s.nprefix; i++ {
 				dest := as*s.nprefix + i
-				if origin, ok := s.origins[dest]; ok && origin == id {
+				if dest < len(s.origins) && s.origins[dest] == id {
 					s.routers[id].originate(dest)
 				}
 			}
@@ -328,7 +383,10 @@ func (s *Simulator) LocPath(id NodeID, dest ASN) (Path, bool) {
 	if id < 0 || id >= len(s.routers) {
 		return nil, false
 	}
-	e, ok := s.routers[id].loc[dest]
+	if dest < 0 || dest >= s.routers[id].ndests {
+		return nil, false
+	}
+	e, ok := s.routers[id].loc.get(dest)
 	if !ok {
 		return nil, false
 	}
@@ -340,17 +398,20 @@ func (s *Simulator) LocPath(id NodeID, dest ASN) (Path, bool) {
 // AS a originates prefixes a*k .. a*k+k-1.
 func (s *Simulator) Destinations() []int {
 	out := make([]int, 0, len(s.origins))
-	for dest := range s.origins {
-		out = append(out, dest)
+	for dest, id := range s.origins {
+		if id >= 0 {
+			out = append(out, dest)
+		}
 	}
-	sort.Ints(out)
 	return out
 }
 
 // OriginOf returns the router originating destination prefix dest.
 func (s *Simulator) OriginOf(dest int) (NodeID, bool) {
-	id, ok := s.origins[dest]
-	return id, ok
+	if dest < 0 || dest >= len(s.origins) || s.origins[dest] < 0 {
+		return 0, false
+	}
+	return s.origins[dest], true
 }
 
 // Network returns the topology the simulator runs on.

@@ -51,7 +51,31 @@ func mustSim(t *testing.T, nw *topology.Network, p Params) *Simulator {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// White-box tests inject destination ids no AS in the small test
+	// topologies originates; widen the dense dest table to accept them
+	// (the map-based RIB accepted any id implicitly).
+	sim.widenDestsForTest(128)
 	return sim
+}
+
+// widenDestsForTest grows every router's dense destination table to at
+// least n entries so white-box tests can poke out-of-band destination
+// ids. It rewinds router state, so it must run before any simulation
+// activity.
+func (s *Simulator) widenDestsForTest(n int) {
+	if n <= s.ndests {
+		return
+	}
+	s.ndests = n
+	grown := make([]NodeID, n)
+	for i := range grown {
+		grown[i] = -1
+	}
+	copy(grown, s.origins)
+	s.origins = grown
+	for _, r := range s.routers {
+		r.reset(s.params, n)
+	}
 }
 
 func TestNewValidatesParams(t *testing.T) {

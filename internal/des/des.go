@@ -6,6 +6,13 @@
 // on top — two runs with the same seed must produce byte-identical results —
 // so ties between events scheduled for the same instant are broken by
 // insertion order, never by map iteration or heap instability.
+//
+// The event queue is a 4-ary min-heap, but that is invisible to callers:
+// (timestamp, insertion sequence) is a strict total order over queued
+// events, so the pop sequence — and therefore all simulation output — is
+// independent of heap arity or internal layout. Any replacement queue
+// must preserve exactly this tie-break: timestamp first, then insertion
+// order.
 package des
 
 import (
@@ -92,6 +99,23 @@ func (e *Engine) SetMaxEvents(n uint64) {
 		n = DefaultMaxEvents
 	}
 	e.maxEvents = n
+}
+
+// Reset rewinds the engine to its post-NewEngine state: the clock returns
+// to the epoch, the sequence and processed counters restart at zero, and
+// any still-queued events are discarded (their handlers never fire).
+// Discarded and previously fired Event objects are retained on the free
+// list, which is the point: a reset engine re-runs a simulation without
+// re-paying event allocation. The maxEvents override is preserved.
+func (e *Engine) Reset() {
+	for e.queue.Len() > 0 {
+		ev := e.queue.Pop()
+		ev.fn, ev.runner = nil, nil
+		e.recycle(ev)
+	}
+	e.now = 0
+	e.seq = 0
+	e.processed = 0
 }
 
 // Now returns the current simulated time.

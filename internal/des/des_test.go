@@ -286,3 +286,96 @@ func TestPropertyCancelSafety(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestHeapPopOrderAtScale stresses the event queue at the occupancy a
+// large simulation sustains: thousands of events with heavy timestamp
+// duplication. The d-ary heap must deliver a strict (timestamp,
+// insertion-order) sequence — the total order every deterministic
+// figure in results/ rests on.
+func TestHeapPopOrderAtScale(t *testing.T) {
+	const n = 5000
+	e := NewEngine()
+	rng := NewRNG(99)
+	type stamp struct {
+		at  Time
+		idx int
+	}
+	var fired []stamp
+	for i := 0; i < n; i++ {
+		i := i
+		// Only 64 distinct timestamps, so ties are the common case.
+		d := time.Duration(rng.Intn(64)) * time.Millisecond
+		e.Schedule(d, func() { fired = append(fired, stamp{e.Now(), i}) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != n {
+		t.Fatalf("fired %d events, want %d", len(fired), n)
+	}
+	for i := 1; i < n; i++ {
+		prev, cur := fired[i-1], fired[i]
+		if cur.at < prev.at {
+			t.Fatalf("event %d fired at %v after %v", i, cur.at, prev.at)
+		}
+		if cur.at == prev.at && cur.idx < prev.idx {
+			t.Fatalf("tie at %v broke insertion order: %d before %d", cur.at, prev.idx, cur.idx)
+		}
+	}
+}
+
+// TestEngineResetRewinds pins the Reset contract the simulator pool
+// relies on: pending events are dropped and recycled, the clock and
+// counters rewind to the epoch, and the engine is immediately reusable.
+func TestEngineResetRewinds(t *testing.T) {
+	e := NewEngine()
+	var fired int
+	e.Schedule(time.Second, func() { fired++ })
+	e.Schedule(2*time.Second, func() { fired++ })
+	if err := e.RunUntil(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	e.Reset()
+	if e.Now() != 0 || e.Pending() != 0 || e.Processed() != 0 {
+		t.Fatalf("after Reset: now=%v pending=%d processed=%d, want zeros",
+			e.Now(), e.Pending(), e.Processed())
+	}
+	if fired != 1 {
+		t.Fatalf("fired %d before Reset, want 1", fired)
+	}
+	// The dropped event must never fire; new scheduling works from t=0.
+	e.Schedule(time.Millisecond, func() { fired += 10 })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 11 {
+		t.Errorf("fired = %d after reuse, want 11 (dropped event leaked?)", fired)
+	}
+	if e.Now() != time.Millisecond {
+		t.Errorf("clock = %v after reuse, want 1ms", e.Now())
+	}
+}
+
+// TestEngineResetRecyclesEvents pins that Reset feeds the queued events
+// back to the free list rather than leaking them.
+func TestEngineResetRecyclesEvents(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 8; i++ {
+		e.Schedule(time.Duration(i+1)*time.Second, func() {})
+	}
+	e.Reset()
+	if got := len(e.free); got != 8 {
+		t.Errorf("free list holds %d events after Reset, want 8", got)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 8; i++ {
+			e.Schedule(time.Duration(i+1)*time.Second, func() {})
+		}
+		e.Reset()
+	})
+	// Each Schedule allocates its closure; the Event structs themselves
+	// must come from the free list. Allow the closure allocations only.
+	if avg > 8 {
+		t.Errorf("schedule/Reset cycle allocates %.2f objects/op, want <= 8 (closures only)", avg)
+	}
+}

@@ -1,6 +1,17 @@
 package des
 
-// eventHeap is a binary min-heap of events ordered by (at, seq). It is
+// heapArity is the fan-out of the event queue's d-ary min-heap. A 4-ary
+// heap halves the tree depth relative to a binary heap, trading slightly
+// more comparisons per sift-down for far fewer cache-missing levels —
+// a win for the push/pop-dominated DES loop at large topology sizes.
+//
+// The arity is a pure performance knob: because (at, seq) is a strict
+// total order over queued events (seq is unique per engine), the pop
+// sequence is fully determined regardless of heap shape, so changing
+// arity cannot change simulation output.
+const heapArity = 4
+
+// eventHeap is a d-ary min-heap of events ordered by (at, seq). It is
 // hand-rolled rather than wrapping container/heap to avoid the interface
 // boxing on every push/pop in the simulation hot loop.
 type eventHeap struct {
@@ -52,7 +63,7 @@ func (h *eventHeap) Pop() *Event {
 
 func (h *eventHeap) up(i int) {
 	for i > 0 {
-		parent := (i - 1) / 2
+		parent := (i - 1) / heapArity
 		if !h.less(i, parent) {
 			break
 		}
@@ -64,13 +75,19 @@ func (h *eventHeap) up(i int) {
 func (h *eventHeap) down(i int) {
 	n := len(h.items)
 	for {
-		left := 2*i + 1
-		if left >= n {
+		first := heapArity*i + 1
+		if first >= n {
 			break
 		}
-		least := left
-		if right := left + 1; right < n && h.less(right, left) {
-			least = right
+		least := first
+		last := first + heapArity
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if h.less(c, least) {
+				least = c
+			}
 		}
 		if !h.less(least, i) {
 			break

@@ -60,7 +60,9 @@ func forEachIndex(n, workers int, fn func(i int)) {
 // RunTrialsParallel, and Sweep's per-cell execution, so the serial and
 // parallel paths cannot drift. Once a trial fails, trials that have not
 // yet started are skipped (marked errSkipped); in-flight ones finish.
-func runTrialsInto(sc Scenario, results []Result, errs []error, workers int, failed *atomic.Bool) {
+// pool, when non-nil, recycles simulators across trials that share a
+// memoized topology.
+func runTrialsInto(sc Scenario, results []Result, errs []error, workers int, failed *atomic.Bool, pool *simPool) {
 	forEachIndex(len(results), workers, func(i int) {
 		if failed.Load() {
 			errs[i] = errSkipped
@@ -68,7 +70,7 @@ func runTrialsInto(sc Scenario, results []Result, errs []error, workers int, fai
 		}
 		trial := sc
 		trial.Seed = trialSeed(sc.Seed, i)
-		results[i], errs[i] = Run(trial)
+		results[i], errs[i] = runScenario(trial, pool)
 		if errs[i] != nil {
 			failed.Store(true)
 		}
@@ -93,7 +95,7 @@ func runTrials(sc Scenario, n, workers int) (Stats, error) {
 	results := make([]Result, n)
 	errs := make([]error, n)
 	var failed atomic.Bool
-	runTrialsInto(sc, results, errs, workers, &failed)
+	runTrialsInto(sc, results, errs, workers, &failed, newSimPool())
 	if i, err := firstTrialError(errs); err != nil {
 		return Stats{}, fmt.Errorf("trial %d: %w", i, err)
 	}

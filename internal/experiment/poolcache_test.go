@@ -1,0 +1,147 @@
+package experiment
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"bgpsim/internal/failure"
+	"bgpsim/internal/topology"
+)
+
+// poolTestConfig is a small paired sweep: two schemes over the same
+// worlds, so the simulator pool actually gets hits (both series receive
+// the same memoized *Network per (x, trial) and the second series reuses
+// the first's simulators via Reset).
+func poolTestConfig(workers int) SweepConfig {
+	return SweepConfig{
+		SeriesNames:           []string{"MRAI=0.5s", "batch"},
+		Xs:                    []float64{2.5, 10},
+		Trials:                2,
+		Metric:                MetricDelay,
+		SameWorldAcrossSeries: true,
+		Workers:               workers,
+		Cell: func(si int, x float64) Scenario {
+			scheme := ConstantMRAI(500 * time.Millisecond)
+			if si == 1 {
+				scheme = Batching(500 * time.Millisecond)
+			}
+			return Scenario{
+				Topology: topology.Spec{Kind: topology.KindSkewed7030, N: 30},
+				Failure:  failure.Geographic(x / 100),
+				Scheme:   scheme,
+				Seed:     31,
+			}
+		},
+	}
+}
+
+// TestSweepPooledMatchesFreshRuns pins that the sweep's simulator pool
+// and topology memo change nothing observable: every cell of a pooled
+// sweep must equal the aggregate of plain Run calls (which never reuse a
+// simulator) over the same derived seeds.
+func TestSweepPooledMatchesFreshRuns(t *testing.T) {
+	cfg := poolTestConfig(1)
+	fig, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si := range cfg.SeriesNames {
+		for xi, x := range cfg.Xs {
+			sc := cfg.Cell(si, x)
+			base := cellSeed(sc.Seed, si, xi, cfg.SameWorldAcrossSeries)
+			var fresh []Result
+			for i := 0; i < cfg.Trials; i++ {
+				sc.Seed = trialSeed(base, i)
+				r, err := Run(sc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fresh = append(fresh, r)
+			}
+			want := cfg.Metric.value(aggregate(fresh))
+			got := fig.Series[si].Points[xi].Y
+			if got != want {
+				t.Errorf("series %d x=%v: pooled sweep %v != fresh runs %v", si, x, got, want)
+			}
+		}
+	}
+}
+
+// TestSweepWorkerCountInvariant pins that the pooled sweep is still
+// byte-identical across worker counts: pool hits occur in a different
+// interleaving under the parallel schedule, and none of it may show.
+func TestSweepWorkerCountInvariant(t *testing.T) {
+	serial, err := Sweep(poolTestConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Sweep(poolTestConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("worker count changed the figure:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}
+
+// TestConcurrentSweepsShareTopologyCache runs overlapping sweeps on the
+// same scenarios from multiple goroutines. Under -race this exercises
+// the once-guarded topology memo and the mutex-guarded simulator pools
+// against concurrent first-builds of identical keys.
+func TestConcurrentSweepsShareTopologyCache(t *testing.T) {
+	var wg sync.WaitGroup
+	figs := make([]Figure, 3)
+	errs := make([]error, 3)
+	for i := range figs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			figs[i], errs[i] = Sweep(poolTestConfig(2))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("sweep %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(figs[i], figs[0]) {
+			t.Errorf("concurrent sweep %d diverged:\n%+v\nvs\n%+v", i, figs[i], figs[0])
+		}
+	}
+}
+
+// TestBuildTopologyCachedReturnsSharedInstance pins the memo contract:
+// identical (spec, seed) yields the identical *Network, and different
+// seeds yield different instances.
+func TestBuildTopologyCachedReturnsSharedInstance(t *testing.T) {
+	spec := topology.Spec{Kind: topology.KindSkewed7030, N: 20}
+	a, err := BuildTopologyCached(spec, 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildTopologyCached(spec, 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("same (spec, seed) returned distinct networks")
+	}
+	c, err := BuildTopologyCached(spec, 12346)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Error("different seeds returned the same network")
+	}
+	// The memoized build must equal an uncached one.
+	fresh, err := spec.Build(topoStream(12345))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumNodes() != fresh.NumNodes() || a.NumLinks() != fresh.NumLinks() {
+		t.Errorf("cached build differs from direct build: %d/%d nodes, %d/%d links",
+			a.NumNodes(), fresh.NumNodes(), a.NumLinks(), fresh.NumLinks())
+	}
+}

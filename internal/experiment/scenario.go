@@ -127,13 +127,26 @@ type Result struct {
 }
 
 // Run executes the scenario once. Seed controls every random choice, so
-// identical scenarios produce identical results.
+// identical scenarios produce identical results. The topology is served
+// from the process-wide memo (see topocache.go); repeated runs of the
+// same (spec, seed) share one immutable network.
 func Run(sc Scenario) (Result, error) {
+	return runScenario(sc, nil)
+}
+
+// runScenario is the single trial implementation behind Run, RunTrials,
+// and Sweep. When pool is non-nil, a simulator previously built on the
+// same memoized network is Reset and reused instead of constructing a
+// fresh one; results are byte-identical either way. The RNG stream
+// derivation (topology, failure, sim — in that order off the root) is
+// load-bearing: each Split advances the root, so the splits must happen
+// unconditionally even when the topology comes from the cache.
+func runScenario(sc Scenario, pool *simPool) (Result, error) {
 	root := des.NewRNG(sc.Seed)
 	topoRNG := root.Split("topology")
 	failRNG := root.Split("failure")
 
-	net, err := sc.Topology.Build(topoRNG)
+	net, err := sharedTopoCache.build(sc.Topology, sc.Seed, topoRNG)
 	if err != nil {
 		return Result{}, fmt.Errorf("build topology: %w", err)
 	}
@@ -159,7 +172,12 @@ func Run(sc Scenario) (Result, error) {
 		}
 		params.Policy = rs
 	}
-	sim, err := bgp.New(net, params)
+	sim := pool.take(net)
+	if sim != nil {
+		err = sim.Reset(params)
+	} else {
+		sim, err = bgp.New(net, params)
+	}
 	if err != nil {
 		return Result{}, fmt.Errorf("build simulator: %w", err)
 	}
@@ -172,7 +190,7 @@ func Run(sc Scenario) (Result, error) {
 		return Result{}, err
 	}
 	col := sim.Collector()
-	return Result{
+	res := Result{
 		Delay:         delay,
 		WindowStart:   col.WindowStart(),
 		Messages:      col.Messages(),
@@ -183,7 +201,9 @@ func Run(sc Scenario) (Result, error) {
 		RouteChanges:  col.RouteChanges(),
 		FailedNodes:   len(nodes),
 		Nodes:         net.NumNodes(),
-	}, nil
+	}
+	pool.put(net, sim)
+	return res, nil
 }
 
 // Stats aggregates replicated trials.

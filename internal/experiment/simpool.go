@@ -1,0 +1,68 @@
+package experiment
+
+import (
+	"sync"
+
+	"bgpsim/internal/bgp"
+	"bgpsim/internal/topology"
+)
+
+// simPoolCap bounds the total simulators a pool retains across all
+// networks. Once full, returned simulators are dropped for the GC — a
+// throughput loss, never a correctness one.
+const simPoolCap = 32
+
+// simPool recycles Simulators between trials that share a topology.
+// bgp.Simulator.Reset rewinds every piece of dense per-router state in
+// place, so a pooled simulator produces byte-identical results to a
+// freshly constructed one; reuse only skips the allocation. Simulators
+// are keyed by the *Network they were built on (identity, not value):
+// Reset cannot change a simulator's topology, so a pooled simulator may
+// only serve trials on the exact network instance it was built for —
+// which the topology cache makes common, since paired sweeps hand every
+// series the same memoized *Network. Safe for concurrent use; a nil
+// *simPool is valid and never pools.
+type simPool struct {
+	mu    sync.Mutex
+	n     int
+	byNet map[*topology.Network][]*bgp.Simulator
+}
+
+// newSimPool returns an empty pool.
+func newSimPool() *simPool {
+	return &simPool{byNet: make(map[*topology.Network][]*bgp.Simulator)}
+}
+
+// take pops a pooled simulator built on net, or nil when none is
+// available. The caller must Reset it before use.
+func (p *simPool) take(net *topology.Network) *bgp.Simulator {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	list := p.byNet[net]
+	if len(list) == 0 {
+		return nil
+	}
+	sim := list[len(list)-1]
+	list[len(list)-1] = nil
+	p.byNet[net] = list[:len(list)-1]
+	p.n--
+	return sim
+}
+
+// put offers sim (built on net) for reuse; it is dropped when the pool
+// is full.
+func (p *simPool) put(net *topology.Network, sim *bgp.Simulator) {
+	if p == nil || sim == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.n >= simPoolCap {
+		return
+	}
+	p.byNet[net] = append(p.byNet[net], sim)
+	p.n++
+}

@@ -129,6 +129,7 @@ func Sweep(cfg SweepConfig) (Figure, error) {
 	for c := range remaining {
 		remaining[c] = cfg.Trials
 	}
+	pool := newSimPool()
 	forEachIndex(len(results), workers, func(j int) {
 		c := j / cfg.Trials
 		if failed.Load() {
@@ -137,7 +138,7 @@ func Sweep(cfg SweepConfig) (Figure, error) {
 		}
 		trial := cells[c]
 		trial.Seed = trialSeed(trial.Seed, j%cfg.Trials)
-		results[j], errs[j] = Run(trial)
+		results[j], errs[j] = runScenario(trial, pool)
 		if errs[j] != nil {
 			failed.Store(true)
 			return

@@ -1,0 +1,98 @@
+package experiment
+
+import (
+	"encoding/json"
+	"sync"
+
+	"bgpsim/internal/des"
+	"bgpsim/internal/topology"
+)
+
+// Topology construction is deterministic: a (Spec, scenario seed) pair
+// fully determines the built network, because the topology RNG stream is
+// derived from the seed alone. Building the same network once and
+// sharing the immutable *Network across trials removes the
+// generator-dominated setup cost from paired sweeps (every series in a
+// SameWorldAcrossSeries sweep replays the same per-x worlds) and from
+// benchmarks that cycle a small set of seeds. The simulator never
+// mutates the Network, so one instance may back many concurrent trials.
+
+// topoKey identifies one deterministically built topology: the spec's
+// canonical JSON plus the scenario seed that derives its RNG stream.
+type topoKey struct {
+	spec string
+	seed int64
+}
+
+// topoCacheCap bounds the number of memoized networks. Once full, new
+// keys build uncached — a throughput loss, never a correctness one.
+const topoCacheCap = 256
+
+// topoEntry is one memoized build. The once gate makes concurrent
+// requests for the same key build exactly once; losers wait and share.
+type topoEntry struct {
+	once sync.Once
+	net  *topology.Network
+	err  error
+}
+
+// topoCache memoizes Spec.Build results by (spec, seed). Safe for
+// concurrent use; insert-only up to topoCacheCap.
+type topoCache struct {
+	mu      sync.Mutex
+	entries map[topoKey]*topoEntry
+}
+
+// sharedTopoCache is the process-wide topology memo. All scenario runs
+// and BuildTopologyCached go through it.
+var sharedTopoCache = &topoCache{entries: make(map[topoKey]*topoEntry)}
+
+// build returns the network for (spec, seed), constructing it at most
+// once per key. rng must be the topology stream derived from seed (the
+// caller keeps the Split call so sibling streams are unaffected by cache
+// hits); it is consumed only when this call performs the build.
+func (c *topoCache) build(spec topology.Spec, seed int64, rng *des.RNG) (*topology.Network, error) {
+	js, err := json.Marshal(spec)
+	if err != nil {
+		// Unkeyable spec: fall back to an uncached build.
+		return spec.Build(rng)
+	}
+	key := topoKey{spec: string(js), seed: seed}
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		if len(c.entries) >= topoCacheCap {
+			c.mu.Unlock()
+			return spec.Build(rng)
+		}
+		e = &topoEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.net, e.err = spec.Build(rng)
+	})
+	return e.net, e.err
+}
+
+// len reports the number of memoized entries (for tests and benchmarks).
+func (c *topoCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// topoStream derives the topology RNG stream for a scenario seed,
+// exactly as runScenario derives it off the root.
+func topoStream(seed int64) *des.RNG {
+	return des.NewRNG(seed).Split("topology")
+}
+
+// BuildTopologyCached returns the network a scenario with this topology
+// spec and seed simulates on, memoized in the process-wide cache. The
+// topology RNG stream is derived exactly as Run derives it, so runs and
+// benchmarks share cache entries. The returned network is shared and
+// must be treated as immutable; Clone it before mutating.
+func BuildTopologyCached(spec topology.Spec, seed int64) (*topology.Network, error) {
+	return sharedTopoCache.build(spec, seed, topoStream(seed))
+}

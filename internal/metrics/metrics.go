@@ -43,6 +43,17 @@ func NewCollector(n int) *Collector {
 	return &Collector{perNodeSent: make([]int, n)}
 }
 
+// Reset returns the collector to its post-NewCollector state (all
+// counters zero, window closed), retaining the per-node array so
+// simulator reuse across trials allocates nothing here.
+func (c *Collector) Reset() {
+	per := c.perNodeSent
+	for i := range per {
+		per[i] = 0
+	}
+	*c = Collector{perNodeSent: per}
+}
+
 // OpenWindow starts the measurement window at now (failure time).
 // Windowed counters reset.
 func (c *Collector) OpenWindow(now time.Duration) {

@@ -110,10 +110,24 @@ type Tracer interface {
 	Trace(e Event)
 }
 
+// recorderChunkSize is the event capacity of one arena chunk. 4096
+// events × ~64 bytes keeps each chunk around page-multiple size without
+// wasting much on short runs.
+const recorderChunkSize = 4096
+
 // Recorder stores every event in memory. Safe for concurrent use.
+//
+// Storage is a chunked arena: events append into fixed-capacity chunks
+// and Reset recycles full chunks onto a free list instead of dropping
+// them, so steady-state tracing across repeated runs (record → Reset →
+// record) allocates nothing once the arena has grown to the high-water
+// mark. This is what makes tracing affordable at paper scale, where a
+// run delivers millions of events.
 type Recorder struct {
 	mu     sync.Mutex
-	events []Event
+	chunks [][]Event // recorded events; all chunks but the last are full
+	free   [][]Event // recycled zero-length chunks with retained capacity
+	n      int       // total recorded events
 	// Filter, when non-zero, restricts recording to one kind.
 	Filter Kind
 	// MaxEvents bounds memory; once reached, further events are dropped
@@ -131,25 +145,43 @@ func (r *Recorder) Trace(e Event) {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.MaxEvents > 0 && len(r.events) >= r.MaxEvents {
+	if r.MaxEvents > 0 && r.n >= r.MaxEvents {
 		r.truncated = true
 		return
 	}
-	r.events = append(r.events, e)
+	last := len(r.chunks) - 1
+	if last < 0 || len(r.chunks[last]) == cap(r.chunks[last]) {
+		var c []Event
+		if k := len(r.free); k > 0 {
+			c = r.free[k-1]
+			r.free[k-1] = nil
+			r.free = r.free[:k-1]
+		} else {
+			c = make([]Event, 0, recorderChunkSize)
+		}
+		r.chunks = append(r.chunks, c)
+		last++
+	}
+	r.chunks[last] = append(r.chunks[last], e)
+	r.n++
 }
 
 // Events returns a copy of the recorded events in order.
 func (r *Recorder) Events() []Event {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return append([]Event(nil), r.events...)
+	out := make([]Event, 0, r.n)
+	for _, c := range r.chunks {
+		out = append(out, c...)
+	}
+	return out
 }
 
 // Len returns the number of recorded events.
 func (r *Recorder) Len() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return len(r.events)
+	return r.n
 }
 
 // Truncated reports whether events were dropped due to MaxEvents.
@@ -159,11 +191,17 @@ func (r *Recorder) Truncated() bool {
 	return r.truncated
 }
 
-// Reset clears the recorder.
+// Reset clears the recorder, recycling the arena chunks so a subsequent
+// recording run of similar size allocates nothing.
 func (r *Recorder) Reset() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.events = nil
+	for i, c := range r.chunks {
+		r.free = append(r.free, c[:0])
+		r.chunks[i] = nil
+	}
+	r.chunks = r.chunks[:0]
+	r.n = 0
 	r.truncated = false
 }
 
@@ -172,8 +210,10 @@ func (r *Recorder) CountByKind() map[Kind]int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := make(map[Kind]int)
-	for _, e := range r.events {
-		out[e.Kind]++
+	for _, c := range r.chunks {
+		for _, e := range c {
+			out[e.Kind]++
+		}
 	}
 	return out
 }

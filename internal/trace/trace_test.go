@@ -139,3 +139,54 @@ func TestEventStringVariants(t *testing.T) {
 		t.Error("negative peer printed")
 	}
 }
+
+// TestRecorderSteadyStateAllocationFree pins the arena contract: once
+// the recorder has grown to its high-water mark, a record → Reset →
+// record cycle of the same size allocates nothing — recycled chunks are
+// reused instead of reallocated. This keeps tracing affordable across
+// pooled simulation trials.
+func TestRecorderSteadyStateAllocationFree(t *testing.T) {
+	const events = 3*recorderChunkSize + 17 // several chunks plus a partial
+	r := &Recorder{}
+	e := ev(KindSend)
+	warm := func() {
+		for i := 0; i < events; i++ {
+			r.Trace(e)
+		}
+	}
+	warm()
+	r.Reset()
+	avg := testing.AllocsPerRun(10, func() {
+		warm()
+		r.Reset()
+	})
+	if avg != 0 {
+		t.Errorf("steady-state record/Reset cycle allocates %.2f objects/op, want 0", avg)
+	}
+}
+
+// TestRecorderResetRecyclesAcrossRuns pins that events recorded after a
+// Reset are correct (not interleaved with recycled garbage) and that
+// Len/Events agree across the chunk boundary.
+func TestRecorderResetRecyclesAcrossRuns(t *testing.T) {
+	r := &Recorder{}
+	for i := 0; i < recorderChunkSize+5; i++ {
+		r.Trace(Event{Kind: KindSend, Node: i})
+	}
+	r.Reset()
+	if r.Len() != 0 || len(r.Events()) != 0 {
+		t.Fatalf("recorder not empty after Reset: %d events", r.Len())
+	}
+	for i := 0; i < 10; i++ {
+		r.Trace(Event{Kind: KindReceive, Node: 100 + i})
+	}
+	got := r.Events()
+	if len(got) != 10 {
+		t.Fatalf("Len after reuse = %d, want 10", len(got))
+	}
+	for i, e := range got {
+		if e.Kind != KindReceive || e.Node != 100+i {
+			t.Errorf("event %d = %+v, want KindReceive node %d", i, e, 100+i)
+		}
+	}
+}
