@@ -26,6 +26,7 @@
 package bgpsim
 
 import (
+	"context"
 	"time"
 
 	"bgpsim/internal/bgp"
@@ -202,6 +203,13 @@ func RunTrials(sc Scenario, n int) (Stats, error) { return experiment.RunTrials(
 // are byte-identical to RunTrials for every worker count.
 func RunTrialsParallel(sc Scenario, n, workers int) (Stats, error) {
 	return experiment.RunTrialsParallel(sc, n, workers)
+}
+
+// RunTrialsContext is RunTrialsParallel with cancellation: when ctx is
+// canceled, queued trials never start, in-flight simulations abort at
+// the next event-loop check, and ctx's error is returned.
+func RunTrialsContext(ctx context.Context, sc Scenario, n, workers int) (Stats, error) {
+	return experiment.RunTrialsContext(ctx, sc, n, workers)
 }
 
 // NewSimulator builds the low-level simulator for a prebuilt network

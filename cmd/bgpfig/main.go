@@ -8,20 +8,36 @@
 //	bgpfig -fig 3 -workers 8       # parallel sweep (same bytes as serial)
 //	bgpfig -fig 1 -nodes 60 -trials 2 -seed 7 -o out/
 //
+// Distributed runs split the same work across machines (same bytes as
+// local): a coordinator serves sweep cells over HTTP and any number of
+// workers (bgpfig -connect or the bgpwork command) execute them:
+//
+//	bgpfig -fig 3 -serve :9090 -checkpoint fig3.ckpt -o out/
+//	bgpfig -connect coordinator:9090      # on each worker machine
+//
 // Each figure is printed as an aligned text table (the same series the
 // paper plots); -o additionally writes one .txt per figure.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"log"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
+	"time"
 
 	"bgpsim"
+	"bgpsim/internal/dist"
 	"bgpsim/internal/profiling"
 )
 
@@ -46,6 +62,11 @@ func run(args []string) error {
 		outDir  = fs.String("o", "", "also write each figure to <dir>/<id>.txt")
 		asJSON  = fs.Bool("json", false, "with -o: additionally write <id>.json for plotting tools")
 		quiet   = fs.Bool("q", false, "suppress progress output")
+
+		serve    = fs.String("serve", "", "coordinate a distributed run: listen on host:port and hand sweep cells to workers")
+		connect  = fs.String("connect", "", "run as a worker: pull sweep cells from the coordinator at host:port, then exit")
+		ckptPath = fs.String("checkpoint", "", "with -serve: record completed cells here and resume from it after a restart")
+		leaseTTL = fs.Duration("lease-ttl", 30*time.Second, "with -serve: reassign a cell if its worker is silent this long")
 	)
 	var prof profiling.Config
 	prof.AddFlags(fs)
@@ -62,6 +83,20 @@ func run(args []string) error {
 			fmt.Printf("%-26s %s\n", e.ID, e.Title)
 		}
 		return nil
+	}
+	if *serve != "" && *connect != "" {
+		return fmt.Errorf("-serve and -connect are mutually exclusive")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *connect != "" {
+		w := &dist.Worker{Base: dist.BaseURL(*connect), SimWorkers: *workers}
+		if !*quiet {
+			w.Log = log.New(os.Stderr, "", log.LstdFlags)
+		}
+		return w.Work(ctx)
 	}
 
 	opts := bgpsim.PaperOptions()
@@ -93,10 +128,48 @@ func run(args []string) error {
 		exps = []bgpsim.Experiment{e}
 	}
 
+	var coord *dist.Coordinator
+	if *serve != "" {
+		cc := dist.CoordinatorConfig{LeaseTTL: *leaseTTL, CheckpointPath: *ckptPath}
+		if !*quiet {
+			cc.Log = log.New(os.Stderr, "", log.LstdFlags)
+		}
+		var err error
+		if coord, err = dist.NewCoordinator(cc); err != nil {
+			return err
+		}
+		ln, err := net.Listen("tcp", *serve)
+		if err != nil {
+			return err
+		}
+		srv := &http.Server{Handler: coord.Handler()}
+		go func() {
+			if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "bgpfig: coordinator server:", err)
+			}
+		}()
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "bgpfig: coordinating on %s\n", ln.Addr())
+		}
+		defer func() {
+			// Tell polling workers to exit, then drain in-flight requests.
+			coord.Shutdown()
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			srv.Shutdown(sctx)
+		}()
+	} else if *ckptPath != "" {
+		return fmt.Errorf("-checkpoint requires -serve")
+	}
+
 	for _, e := range exps {
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "== %s: %s\n", e.ID, e.Title)
 			opts.Progress = newProgressLine(os.Stderr).update
+		}
+		opts.Context = ctx
+		if coord != nil {
+			opts.Sweeper = coord.SweeperFor(ctx, e.ID, opts)
 		}
 		fig, err := e.Run(opts)
 		if err != nil {

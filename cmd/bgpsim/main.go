@@ -12,11 +12,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"bgpsim"
@@ -67,7 +70,9 @@ func run(args []string, out *os.File) error {
 		PolicyHierarchical: *policy,
 		Seed:               *seed,
 	}
-	st, err := bgpsim.RunTrialsParallel(sc, *trials, *workers)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	st, err := bgpsim.RunTrialsContext(ctx, sc, *trials, *workers)
 	if err != nil {
 		return err
 	}

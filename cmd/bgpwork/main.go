@@ -1,0 +1,73 @@
+// Command bgpwork is a sweep worker for distributed figure runs: it
+// pulls cell jobs from a bgpfig -serve coordinator, executes them with
+// the local simulator, pushes back results, and exits when the
+// coordinator shuts down or goes away.
+//
+// Usage:
+//
+//	bgpwork -connect coordinator:9090
+//	bgpwork -connect coordinator:9090 -id rack3 -workers 8
+//
+// Results are deterministic by construction (cell seeds derive from grid
+// indices), so any mix of bgpwork processes produces figures
+// byte-identical to a local bgpfig run. Coordinator and workers must be
+// built from the same source.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bgpsim/internal/dist"
+	"bgpsim/internal/profiling"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bgpwork:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bgpwork", flag.ContinueOnError)
+	var (
+		connect = fs.String("connect", "", "coordinator address (host:port or URL); required")
+		id      = fs.String("id", "", "worker name in coordinator logs (default hostname-pid)")
+		workers = fs.Int("workers", 0, "per-job trial worker pool size (0 = GOMAXPROCS)")
+		poll    = fs.Duration("poll", 200*time.Millisecond, "idle delay between polls while the coordinator has no work")
+		quiet   = fs.Bool("q", false, "suppress per-job progress output")
+	)
+	var prof profiling.Config
+	prof.AddFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *connect == "" {
+		return fmt.Errorf("-connect is required (the bgpfig -serve address)")
+	}
+	if err := prof.Start(); err != nil {
+		return err
+	}
+	defer prof.Stop()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	w := &dist.Worker{
+		Base:         dist.BaseURL(*connect),
+		ID:           *id,
+		SimWorkers:   *workers,
+		PollInterval: *poll,
+	}
+	if !*quiet {
+		w.Log = log.New(os.Stderr, "", log.LstdFlags)
+	}
+	return w.Work(ctx)
+}

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"bgpsim/internal/dist"
+)
+
+func TestConnectRequired(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing -connect accepted")
+	}
+}
+
+func TestBadFlagErrors(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestWorkerExitsOnCoordinatorShutdown(t *testing.T) {
+	coord, err := dist.NewCoordinator(dist.CoordinatorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.Shutdown()
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+	if err := run([]string{"-connect", srv.URL, "-id", "test", "-q"}); err != nil {
+		t.Fatalf("worker did not exit cleanly on shutdown: %v", err)
+	}
+}

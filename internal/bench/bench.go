@@ -8,18 +8,26 @@
 //     emits the machine-readable BENCH_*.json perf trajectory.
 //
 // Entries deliberately use only exported API (bgpsim, internal/bgp,
-// internal/topology, internal/experiment, internal/des), so the registry
-// measures what a user of the library gets, and a benchmark body cannot
-// quietly depend on unexported state.
+// internal/topology, internal/experiment, internal/des, internal/dist),
+// so the registry measures what a user of the library gets, and a
+// benchmark body cannot quietly depend on unexported state.
 package bench
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
 	"testing"
 	"time"
 
 	"bgpsim"
 	"bgpsim/internal/bgp"
 	"bgpsim/internal/des"
+	"bgpsim/internal/dist"
 	"bgpsim/internal/experiment"
 	"bgpsim/internal/mrai"
 	"bgpsim/internal/topology"
@@ -94,6 +102,7 @@ func Suite() []Entry {
 		{"TopologyCacheHit", topologyCacheHit},
 		{"TopologyCacheMiss", topologyCacheMiss},
 		{"DESHeapPushPop", desHeapPushPop},
+		{"DistDispatch", distDispatch},
 	}
 }
 
@@ -222,6 +231,71 @@ func topologyCacheMiss(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// distDispatch measures the distributed coordinator's per-job dispatch
+// overhead in isolation: each iteration is one lease + one no-op-cell
+// completion round trip through the protocol handler, invoked directly
+// (no sockets), so the number tracks protocol encoding and lease
+// bookkeeping only — jobs/sec the coordinator can serve is 1e9/ns_op.
+func distDispatch(b *testing.B) {
+	coord, err := dist.NewCoordinator(dist.CoordinatorConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// One job per iteration: a b.N × 1 grid with a single trial per cell.
+	series := make([]string, b.N)
+	for i := range series {
+		series[i] = "s"
+	}
+	cfg := experiment.SweepConfig{SeriesNames: series, Xs: []float64{1}, Trials: 1}
+	done := make(chan error, 1)
+	go func() {
+		_, err := coord.RunSweep(context.Background(), "bench", 0, dist.Options{}, cfg)
+		done <- err
+	}()
+	for !coord.Stats().Active {
+		runtime.Gosched()
+	}
+	h := coord.Handler()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var lease dist.LeaseResponse
+		if err := protocolRoundTrip(h, "/v1/lease", dist.LeaseRequest{Worker: "bench"}, &lease); err != nil {
+			b.Fatal(err)
+		}
+		if lease.Status != dist.StatusJob {
+			b.Fatalf("lease %d: status %q", i, lease.Status)
+		}
+		var ack dist.CompleteResponse
+		req := dist.CompleteRequest{
+			Worker: "bench", SweepID: lease.SweepID, JobID: lease.Job.ID,
+			Lease: lease.Lease, Results: []experiment.Result{{}},
+		}
+		if err := protocolRoundTrip(h, "/v1/complete", req, &ack); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := <-done; err != nil {
+		b.Fatal(err)
+	}
+}
+
+// protocolRoundTrip drives one coordinator exchange through the recorder.
+func protocolRoundTrip(h http.Handler, path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	r := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, r)
+	if rec.Code != http.StatusOK {
+		return fmt.Errorf("%s: HTTP %d: %s", path, rec.Code, rec.Body.String())
+	}
+	return json.Unmarshal(rec.Body.Bytes(), resp)
 }
 
 // desHeapPushPop measures the event queue alone at the occupancy a

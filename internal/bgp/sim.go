@@ -220,6 +220,13 @@ func (s *Simulator) Start() {
 // Run drains the event queue (to quiescence) and returns any engine error.
 func (s *Simulator) Run() error { return s.eng.Run() }
 
+// SetCancel installs (or with nil removes) a cancellation probe on the
+// underlying event engine: Run variants poll it periodically and abort
+// with des.ErrCanceled when it reports true. Install it after Reset
+// (which clears the probe) and before Run; the probe never alters
+// results of runs that complete, only whether a run completes.
+func (s *Simulator) SetCancel(cancel func() bool) { s.eng.SetCancel(cancel) }
+
 // RunUntil runs events up to the deadline.
 func (s *Simulator) RunUntil(deadline des.Time) error { return s.eng.RunUntil(deadline) }
 

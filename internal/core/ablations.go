@@ -72,7 +72,7 @@ func ablationPolicy() Experiment {
 		Run: func(o Options) (experiment.Figure, error) {
 			o = o.normalize()
 			d := 500 * time.Millisecond
-			fig, err := experiment.Sweep(experiment.SweepConfig{
+			fig, err := o.sweep(experiment.SweepConfig{
 				SeriesNames:           []string{"no policy", "Gao-Rexford"},
 				Xs:                    o.FailureSizes,
 				Trials:                o.Trials,

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -39,6 +40,17 @@ type Options struct {
 	// are serialized with strictly increasing done counts (see
 	// experiment.SweepConfig.Progress).
 	Progress func(done, total int)
+	// Context, when non-nil, cancels in-flight sweeps: unstarted trials
+	// are skipped, running simulations abort at the engine's next
+	// cancellation probe, and the experiment returns the context error.
+	// nil behaves as context.Background.
+	Context context.Context
+	// Sweeper, when non-nil, replaces the local sweep executor: every
+	// grid an experiment builds is handed to it instead of
+	// experiment.Sweep. This is the hook distributed execution
+	// (internal/dist) plugs a coordinator into; figures must come back
+	// byte-identical to the local executor's.
+	Sweeper experiment.Sweeper
 }
 
 // DefaultOptions reproduces the paper's configuration.
@@ -89,6 +101,26 @@ func (o Options) normalize() Options {
 		o.RealisticMaxASSize = def.RealisticMaxASSize
 	}
 	return o
+}
+
+// ctx resolves the cancellation context (nil = background).
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
+}
+
+// sweep executes one grid through the configured executor: the Sweeper
+// override when set (distributed execution), the local context-aware
+// parallel sweep otherwise. Every experiment in this package routes its
+// grids through here, which is what lets a coordinator intercept the
+// whole figure pipeline without the figure definitions knowing.
+func (o Options) sweep(cfg experiment.SweepConfig) (experiment.Figure, error) {
+	if o.Sweeper != nil {
+		return o.Sweeper(cfg)
+	}
+	return experiment.SweepContext(o.ctx(), cfg)
 }
 
 // skewedTopo returns the default 70-30 topology spec at the option scale.

@@ -16,7 +16,7 @@ func sweepBySize(o Options, topo topology.Spec, schemes []experiment.Scheme, met
 	for i, s := range schemes {
 		names[i] = s.Name
 	}
-	fig, err := experiment.Sweep(experiment.SweepConfig{
+	fig, err := o.sweep(experiment.SweepConfig{
 		SeriesNames:           names,
 		Xs:                    o.FailureSizes,
 		Trials:                o.Trials,
@@ -55,7 +55,7 @@ func sweepByMRAI(o Options, variants []mraiVariant) (experiment.Figure, error) {
 	for i, v := range variants {
 		names[i] = v.name
 	}
-	fig, err := experiment.Sweep(experiment.SweepConfig{
+	fig, err := o.sweep(experiment.SweepConfig{
 		SeriesNames:           names,
 		Xs:                    o.MRAIs,
 		Trials:                o.Trials,

@@ -45,6 +45,11 @@ type Runner interface {
 // is exceeded, which almost always indicates a scheduling loop in the model.
 var ErrHorizon = errors.New("des: event horizon exceeded")
 
+// ErrCanceled is returned by Run variants when the cancellation probe
+// installed with SetCancel reports true. The simulation stops between
+// events: the clock and queue remain valid but the run is abandoned.
+var ErrCanceled = errors.New("des: run canceled")
+
 // Event is a scheduled callback. Events are created by Engine.Schedule and
 // may be canceled before they fire.
 //
@@ -81,7 +86,14 @@ type Engine struct {
 	free      []*Event // recycled Event objects (see Event)
 	processed uint64
 	maxEvents uint64
+	cancel    func() bool // polled every cancelStride events; nil = never
 }
+
+// cancelStride is how many events fire between cancellation probes. The
+// probe (typically ctx.Err) costs a lock, so it is amortized; a stride
+// of 1024 bounds the post-cancel overrun to ~1k events, microseconds of
+// wall clock.
+const cancelStride = 1024
 
 // DefaultMaxEvents bounds a single Run to guard against runaway scheduling
 // loops in model code. It is far above anything the BGP experiments need.
@@ -101,6 +113,17 @@ func (e *Engine) SetMaxEvents(n uint64) {
 	e.maxEvents = n
 }
 
+// SetCancel installs (or with nil removes) a cancellation probe. Run
+// variants call it once every cancelStride fired events and stop with
+// ErrCanceled when it reports true — the hook that lets a
+// context.Context (Ctrl-C, coordinator shutdown) abort an in-flight
+// simulation between events instead of abandoning it. The probe must be
+// cheap and is called from the simulation goroutine only. Reset clears
+// the probe: cancellation belongs to one run, not to the engine.
+func (e *Engine) SetCancel(cancel func() bool) {
+	e.cancel = cancel
+}
+
 // Reset rewinds the engine to its post-NewEngine state: the clock returns
 // to the epoch, the sequence and processed counters restart at zero, and
 // any still-queued events are discarded (their handlers never fire).
@@ -116,6 +139,7 @@ func (e *Engine) Reset() {
 	e.now = 0
 	e.seq = 0
 	e.processed = 0
+	e.cancel = nil
 }
 
 // Now returns the current simulated time.
@@ -257,6 +281,9 @@ func (e *Engine) RunUntil(deadline Time) error {
 		}
 		if e.processed-start >= e.maxEvents {
 			return ErrHorizon
+		}
+		if e.cancel != nil && e.processed%cancelStride == 0 && e.cancel() {
+			return ErrCanceled
 		}
 		e.Step()
 	}

@@ -1,0 +1,356 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+
+	"bgpsim/internal/core"
+	"bgpsim/internal/experiment"
+)
+
+// CoordinatorConfig tunes a Coordinator. The zero value works: 30s
+// leases, no checkpoint, wall clock, silent log.
+type CoordinatorConfig struct {
+	// LeaseTTL is how long a worker holds a job before it may be
+	// reassigned; it should comfortably exceed the slowest cell
+	// (default 30s — paper-scale cells run in seconds).
+	LeaseTTL time.Duration
+	// CheckpointPath, when set, persists completed cells after every
+	// completion so an interrupted sweep resumes without redoing them.
+	CheckpointPath string
+	// Clock overrides time.Now (fake clocks in tests).
+	Clock func() time.Time
+	// Log receives operational messages (lease reassignment, checkpoint
+	// errors). nil discards.
+	Log *log.Logger
+}
+
+// Coordinator owns the server half of the protocol: it turns sweeps
+// into job tables, leases jobs to workers over HTTP, verifies and
+// records completions, and merges results into figures. One sweep is
+// active at a time (experiments run their sweeps sequentially); workers
+// polling between sweeps are told to wait. All state is guarded by one
+// mutex — request handlers do table lookups and JSON, never simulation
+// work, so the lock is never held long.
+type Coordinator struct {
+	leaseTTL time.Duration
+	ckptPath string
+	now      func() time.Time
+	log      *log.Logger
+
+	mu         sync.Mutex
+	cur        *sweepRun
+	seq        int64
+	shutdown   bool
+	ckpt       *checkpointFile
+	dispatched int64
+}
+
+// sweepRun is the coordinator's state for one active sweep.
+type sweepRun struct {
+	id       int64
+	desc     SweepDesc
+	key      string
+	cfg      experiment.SweepConfig
+	table    *leaseTable
+	total    int
+	resumed  int
+	err      error
+	finished chan struct{} // closed once (all jobs done) or err is set
+}
+
+// NewCoordinator builds a coordinator, loading the checkpoint file if
+// one is configured and present.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	c := &Coordinator{
+		leaseTTL: cfg.LeaseTTL,
+		ckptPath: cfg.CheckpointPath,
+		now:      cfg.Clock,
+		log:      cfg.Log,
+	}
+	if c.leaseTTL <= 0 {
+		c.leaseTTL = 30 * time.Second
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	if c.log == nil {
+		c.log = log.New(io.Discard, "", 0)
+	}
+	ckpt := &checkpointFile{Schema: checkpointSchema, Sweeps: map[string]*sweepCheckpoint{}}
+	if c.ckptPath != "" {
+		var err error
+		if ckpt, err = loadCheckpoint(c.ckptPath); err != nil {
+			return nil, err
+		}
+	}
+	c.ckpt = ckpt
+	return c, nil
+}
+
+// RunSweep executes cfg through remote workers: it publishes the grid as
+// jobs, blocks until every cell's results are in (or ctx is canceled, or
+// a worker reports a failure), and merges them into the figure in fixed
+// (series, x, trial) order — byte-identical to a local Sweep of the same
+// cfg. expID, sweepIndex, and wire address the grid for workers; cfg is
+// the coordinator's own copy (its Cell closure is never invoked — cells
+// are materialized worker-side).
+func (c *Coordinator) RunSweep(ctx context.Context, expID string, sweepIndex int, wire Options, cfg experiment.SweepConfig) (experiment.Figure, error) {
+	cfg, err := experiment.NormalizeSweep(cfg)
+	if err != nil {
+		return experiment.Figure{}, err
+	}
+	desc := SweepDesc{
+		Protocol:   ProtocolVersion,
+		Experiment: expID,
+		SweepIndex: sweepIndex,
+		Options:    wire,
+		Grid:       Grid{Series: len(cfg.SeriesNames), Xs: len(cfg.Xs), Trials: cfg.Trials},
+	}
+	run := &sweepRun{
+		desc:     desc,
+		key:      desc.Key(),
+		cfg:      cfg,
+		total:    desc.Grid.Series * desc.Grid.Xs,
+		finished: make(chan struct{}),
+	}
+	run.table = newLeaseTable(run.total, c.leaseTTL, c.now)
+
+	c.mu.Lock()
+	if c.shutdown {
+		c.mu.Unlock()
+		return experiment.Figure{}, fmt.Errorf("dist: coordinator is shut down")
+	}
+	if c.cur != nil {
+		c.mu.Unlock()
+		return experiment.Figure{}, fmt.Errorf("dist: a sweep is already active")
+	}
+	c.seq++
+	run.id = c.seq
+	// Resume: preload cells this sweep already completed in a previous
+	// coordinator life. Entries that don't fit the grid (corrupt or
+	// hand-edited checkpoint) are dropped rather than trusted.
+	if sc := c.ckpt.Sweeps[run.key]; sc != nil {
+		for _, d := range sc.Done {
+			if d.ID < 0 || d.ID >= run.total || len(d.Results) != cfg.Trials {
+				c.log.Printf("dist: checkpoint entry for job %d ignored (grid %+v)", d.ID, desc.Grid)
+				continue
+			}
+			run.table.markDone(d.ID, d.Results)
+		}
+		run.resumed = run.table.done
+		if run.resumed > 0 {
+			c.log.Printf("dist: sweep %d (%s): resumed %d/%d cells from checkpoint", run.id, expID, run.resumed, run.total)
+			if cfg.Progress != nil {
+				cfg.Progress(run.resumed, run.total)
+			}
+		}
+	}
+	c.cur = run
+	if run.table.remaining() == 0 {
+		close(run.finished)
+	}
+	c.mu.Unlock()
+
+	select {
+	case <-ctx.Done():
+		c.mu.Lock()
+		c.cur = nil
+		c.mu.Unlock()
+		return experiment.Figure{}, ctx.Err()
+	case <-run.finished:
+	}
+
+	c.mu.Lock()
+	c.cur = nil
+	err = run.err
+	perCell := make([][]experiment.Result, run.total)
+	for i := range run.table.jobs {
+		perCell[i] = run.table.jobs[i].results
+	}
+	c.mu.Unlock()
+	if err != nil {
+		return experiment.Figure{}, err
+	}
+	return experiment.AssembleFigure(cfg, perCell)
+}
+
+// SweeperFor adapts the coordinator into the experiment.Sweeper hook for
+// one experiment run: install the result as Options.Sweeper and every
+// grid the experiment builds is executed remotely. The returned function
+// counts the experiment's Sweep calls to derive each grid's SweepIndex,
+// so it must be used for exactly one Experiment.Run invocation.
+func (c *Coordinator) SweeperFor(ctx context.Context, expID string, opts core.Options) experiment.Sweeper {
+	wire := WireOptions(opts)
+	index := 0
+	return func(cfg experiment.SweepConfig) (experiment.Figure, error) {
+		i := index
+		index++
+		return c.RunSweep(ctx, expID, i, wire, cfg)
+	}
+}
+
+// Shutdown tells polling workers to exit: subsequent lease requests
+// answer StatusShutdown and new sweeps are refused. It does not stop an
+// active sweep; call it after the figure pipeline finishes.
+func (c *Coordinator) Shutdown() {
+	c.mu.Lock()
+	c.shutdown = true
+	c.mu.Unlock()
+}
+
+// Stats snapshots coordinator state (the same data /v1/status serves).
+func (c *Coordinator) Stats() StatusResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := StatusResponse{Protocol: ProtocolVersion, Dispatched: c.dispatched}
+	if c.cur != nil {
+		st.Active = true
+		st.SweepID = c.cur.id
+		st.Total = c.cur.total
+		st.Done = c.cur.table.done
+		st.Resumed = c.cur.resumed
+	}
+	return st
+}
+
+// Handler returns the protocol's HTTP handler: POST /v1/lease, POST
+// /v1/complete, GET /v1/status.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/lease", c.handleLease)
+	mux.HandleFunc("POST /v1/complete", c.handleComplete)
+	mux.HandleFunc("GET /v1/status", c.handleStatus)
+	return mux
+}
+
+// handleLease answers a worker's request for work.
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	c.mu.Lock()
+	resp := LeaseResponse{Status: StatusWait}
+	switch {
+	case c.shutdown:
+		resp.Status = StatusShutdown
+	case c.cur == nil || c.cur.err != nil:
+		// Idle, or a failing sweep draining: nothing to hand out.
+	default:
+		if jobID, lease, ok := c.cur.table.acquire(req.Worker); ok {
+			c.dispatched++
+			entry := &c.cur.table.jobs[jobID]
+			if entry.attempts > 1 {
+				c.log.Printf("dist: sweep %d: job %d reassigned to %s (attempt %d)", c.cur.id, jobID, req.Worker, entry.attempts)
+			}
+			desc := c.cur.desc
+			resp = LeaseResponse{
+				Status:  StatusJob,
+				SweepID: c.cur.id,
+				Desc:    &desc,
+				Job:     Job{ID: jobID, Series: jobID / desc.Grid.Xs, X: jobID % desc.Grid.Xs},
+				Lease:   lease,
+			}
+		}
+	}
+	c.mu.Unlock()
+	reply(w, resp)
+}
+
+// handleComplete records a worker's finished (or failed) job.
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req CompleteRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	c.mu.Lock()
+	run := c.cur
+	if run == nil || req.SweepID != run.id {
+		// A straggler finishing a job of a sweep that already ended:
+		// its results merged from another worker (or the sweep was
+		// abandoned). Acknowledge and drop.
+		c.mu.Unlock()
+		reply(w, CompleteResponse{Status: StatusDuplicate})
+		return
+	}
+	if req.Error != "" {
+		c.failLocked(run, fmt.Errorf("dist: worker %s: job %d: %s", req.Worker, req.JobID, req.Error))
+		c.mu.Unlock()
+		reply(w, CompleteResponse{Status: StatusOK})
+		return
+	}
+	if len(req.Results) != run.cfg.Trials {
+		c.mu.Unlock()
+		http.Error(w, fmt.Sprintf("dist: job %d: %d trial results, want %d", req.JobID, len(req.Results), run.cfg.Trials), http.StatusConflict)
+		return
+	}
+	outcome, err := run.table.complete(req.JobID, req.Lease, req.Results)
+	if err != nil {
+		// Divergent duplicate results poison the merge: fail the sweep
+		// loudly rather than emit a figure of unknowable provenance.
+		c.failLocked(run, err)
+		c.mu.Unlock()
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	status := StatusDuplicate
+	if outcome == completedNew {
+		status = StatusOK
+		if run.cfg.Progress != nil {
+			// The Progress contract (serialized, strictly monotonic)
+			// holds whatever order worker reports arrive in: calls are
+			// made under c.mu, and table.done increments exactly once
+			// per newly completed cell.
+			run.cfg.Progress(run.table.done, run.total)
+		}
+		if c.ckptPath != "" {
+			c.ckpt.record(run.key, run.desc, req.JobID, req.Results)
+			if err := c.ckpt.save(c.ckptPath); err != nil {
+				c.log.Printf("dist: %v (continuing without checkpoint)", err)
+			}
+		}
+		if run.table.remaining() == 0 {
+			close(run.finished)
+		}
+	}
+	c.mu.Unlock()
+	reply(w, CompleteResponse{Status: status})
+}
+
+// failLocked marks the run failed and wakes RunSweep. Caller holds c.mu.
+func (c *Coordinator) failLocked(run *sweepRun, err error) {
+	if run.err == nil {
+		run.err = err
+		close(run.finished)
+	}
+}
+
+// handleStatus serves the coordinator snapshot.
+func (c *Coordinator) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	reply(w, c.Stats())
+}
+
+// decode parses a JSON request body, replying 400 on failure.
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		http.Error(w, "dist: bad request: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+// reply writes a JSON response.
+func reply(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// The response is already committed; nothing useful to do.
+		_ = err
+	}
+}

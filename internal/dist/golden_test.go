@@ -1,0 +1,176 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"bgpsim/internal/core"
+)
+
+// Golden equivalence: a figure computed by a coordinator and remote
+// workers over real localhost HTTP must be byte-identical to the serial
+// local run — including when a worker dies mid-sweep and its job is
+// reassigned.
+
+// goldenOptions is the short preset the golden tests run at: the quick
+// fig3 grid (3 failure sizes × 4 MRAIs × 1 trial = 12 cells) shrunk to
+// 24 nodes.
+func goldenOptions() core.Options {
+	o := core.QuickOptions()
+	o.Nodes = 24
+	return o
+}
+
+// serialFig3 renders the reference figure with the ordinary local sweep.
+func serialFig3(t *testing.T) string {
+	t.Helper()
+	exp, err := core.Lookup("fig3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig, err := exp.Run(goldenOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fig.Render()
+}
+
+// distributedFig3 renders fig3 through coord, which must already be
+// serving workers.
+func distributedFig3(t *testing.T, ctx context.Context, coord *Coordinator) string {
+	t.Helper()
+	exp, err := core.Lookup("fig3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := goldenOptions()
+	opts.Sweeper = coord.SweeperFor(ctx, exp.ID, opts)
+	fig, err := exp.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fig.Render()
+}
+
+// startWorker runs a live worker against base and reports its exit error.
+func startWorker(ctx context.Context, base, id string) chan error {
+	errc := make(chan error, 1)
+	w := &Worker{Base: base, ID: id, SimWorkers: 2, PollInterval: time.Millisecond}
+	go func() { errc <- w.Work(ctx) }()
+	return errc
+}
+
+func TestDistributedFig3ByteIdenticalToSerial(t *testing.T) {
+	want := serialFig3(t)
+
+	coord, err := NewCoordinator(CoordinatorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	ctx := context.Background()
+	w1 := startWorker(ctx, srv.URL, "w1")
+	w2 := startWorker(ctx, srv.URL, "w2")
+
+	got := distributedFig3(t, ctx, coord)
+	coord.Shutdown()
+	for i, errc := range []chan error{w1, w2} {
+		if err := <-errc; err != nil {
+			t.Errorf("worker %d exit: %v", i+1, err)
+		}
+	}
+	if got != want {
+		t.Errorf("distributed figure differs from serial:\n--- distributed ---\n%s--- serial ---\n%s", got, want)
+	}
+	if st := coord.Stats(); st.Dispatched != 12 {
+		t.Errorf("Dispatched = %d, want 12 (3 series × 4 MRAIs)", st.Dispatched)
+	}
+}
+
+func TestDistributedFig3SurvivesWorkerDeath(t *testing.T) {
+	want := serialFig3(t)
+
+	// Short leases so the dead worker's job is reassigned quickly.
+	coord, err := NewCoordinator(CoordinatorConfig{LeaseTTL: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+	ctx := context.Background()
+
+	type figOut struct {
+		rendered string
+		err      error
+	}
+	out := make(chan figOut, 1)
+	go func() {
+		exp, err := core.Lookup("fig3")
+		if err != nil {
+			out <- figOut{"", err}
+			return
+		}
+		opts := goldenOptions()
+		opts.Sweeper = coord.SweeperFor(ctx, exp.ID, opts)
+		fig, err := exp.Run(opts)
+		if err != nil {
+			out <- figOut{"", err}
+			return
+		}
+		out <- figOut{fig.Render(), nil}
+	}()
+
+	// A doomed worker leases the first job and is killed before reporting:
+	// it simply never completes, and its lease must expire and be
+	// reassigned to the surviving worker.
+	doomed, ok := tryLease(coord.Handler(), "doomed")
+	if !ok {
+		t.Fatal("doomed worker never got a job")
+	}
+	survivor := startWorker(ctx, srv.URL, "survivor")
+
+	r := <-out
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	coord.Shutdown()
+	if err := <-survivor; err != nil {
+		t.Errorf("survivor exit: %v", err)
+	}
+	if r.rendered != want {
+		t.Errorf("figure after worker death differs from serial:\n--- distributed ---\n%s--- serial ---\n%s", r.rendered, want)
+	}
+	// 12 cells, one of them leased twice (doomed, then reassigned).
+	if st := coord.Stats(); st.Dispatched != 13 {
+		t.Errorf("Dispatched = %d, want 13 (12 jobs + 1 reassignment of job %d)", st.Dispatched, doomed.Job.ID)
+	}
+}
+
+// tryLease polls h until the active sweep hands out a job; unlike
+// leaseJob it never calls into testing.T, so it is goroutine-safe and
+// can report failure to the caller.
+func tryLease(h http.Handler, worker string) (LeaseResponse, bool) {
+	body, err := json.Marshal(LeaseRequest{Worker: worker})
+	if err != nil {
+		panic(fmt.Sprintf("marshal LeaseRequest: %v", err))
+	}
+	for i := 0; i < 20000; i++ {
+		r := httptest.NewRequest(http.MethodPost, "/v1/lease", bytes.NewReader(body))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, r)
+		var resp LeaseResponse
+		if json.Unmarshal(w.Body.Bytes(), &resp) == nil && resp.Status == StatusJob {
+			return resp, true
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	return LeaseResponse{}, false
+}

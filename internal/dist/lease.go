@@ -1,0 +1,156 @@
+package dist
+
+import (
+	"fmt"
+	"time"
+
+	"bgpsim/internal/experiment"
+)
+
+// jobState is the lifecycle of one job in the lease table.
+type jobState int
+
+const (
+	jobPending jobState = iota // never leased, or lease expired and not yet reassigned
+	jobLeased                  // leased to a worker, lease unexpired (or expired but not reclaimed)
+	jobDone                    // results recorded
+)
+
+// jobEntry is one job's lease and result record.
+type jobEntry struct {
+	state    jobState
+	lease    int64  // current lease token (0 = never leased)
+	worker   string // holder of the current lease
+	expires  time.Time
+	attempts int // leases handed out for this job
+	results  []experiment.Result
+}
+
+// completion classifies the outcome of leaseTable.complete.
+type completion int
+
+const (
+	// completedNew recorded the job's results for the first time.
+	completedNew completion = iota
+	// completedDuplicate found the job already done with identical
+	// results; nothing was recorded.
+	completedDuplicate
+)
+
+// leaseTable tracks the lease lifecycle of one sweep's jobs:
+//
+//	pending --acquire--> leased --complete--> done
+//	   ^                   |
+//	   +----lease expiry---+   (reassignment: acquire hands the job
+//	                            to another worker, new lease token)
+//
+// Expiry is lazy: an expired lease is noticed when another worker asks
+// for work (acquire) or when the original worker finally reports
+// (complete — still accepted, results are deterministic). The table is
+// NOT safe for concurrent use; the coordinator serializes access under
+// its own mutex, which is also what makes fake-clock unit tests trivial.
+type leaseTable struct {
+	ttl       time.Duration
+	now       func() time.Time
+	jobs      []jobEntry
+	done      int
+	nextLease int64
+}
+
+// newLeaseTable builds a table of n pending jobs whose leases last ttl
+// on the clock now.
+func newLeaseTable(n int, ttl time.Duration, now func() time.Time) *leaseTable {
+	return &leaseTable{ttl: ttl, now: now, jobs: make([]jobEntry, n)}
+}
+
+// acquire leases the lowest-numbered available job to worker: a pending
+// job first, else a leased job whose lease has expired (reassignment).
+// It returns ok=false when every job is either done or validly leased.
+func (t *leaseTable) acquire(worker string) (jobID int, lease int64, ok bool) {
+	now := t.now()
+	reassign := -1
+	for i := range t.jobs {
+		j := &t.jobs[i]
+		switch j.state {
+		case jobPending:
+			return t.grant(i, worker, now), t.jobs[i].lease, true
+		case jobLeased:
+			if reassign < 0 && now.After(j.expires) {
+				reassign = i
+			}
+		}
+	}
+	if reassign >= 0 {
+		return t.grant(reassign, worker, now), t.jobs[reassign].lease, true
+	}
+	return 0, 0, false
+}
+
+// grant records a new lease on job i and returns i.
+func (t *leaseTable) grant(i int, worker string, now time.Time) int {
+	t.nextLease++
+	j := &t.jobs[i]
+	j.state = jobLeased
+	j.lease = t.nextLease
+	j.worker = worker
+	j.expires = now.Add(t.ttl)
+	j.attempts++
+	return i
+}
+
+// complete records results for jobID. Completions are idempotent: a
+// duplicate submission must carry results identical to the recorded
+// ones (completedDuplicate); differing results are a determinism
+// violation and an error. A completion under a superseded lease (the
+// job was reassigned after this worker's lease expired) is still
+// accepted — the results are deterministic, so first-to-finish wins and
+// the other worker's submission lands on the duplicate path.
+func (t *leaseTable) complete(jobID int, lease int64, results []experiment.Result) (completion, error) {
+	if jobID < 0 || jobID >= len(t.jobs) {
+		return 0, fmt.Errorf("dist: job %d outside table of %d", jobID, len(t.jobs))
+	}
+	j := &t.jobs[jobID]
+	if j.state == jobDone {
+		if !resultsEqual(j.results, results) {
+			return 0, fmt.Errorf("dist: job %d completed twice with different results — worker versions or inputs diverge", jobID)
+		}
+		return completedDuplicate, nil
+	}
+	if j.state == jobPending && j.lease == 0 {
+		return 0, fmt.Errorf("dist: job %d completed without ever being leased", jobID)
+	}
+	_ = lease // any lease on a not-yet-done job is acceptable; see doc comment
+	j.state = jobDone
+	j.results = results
+	t.done++
+	return completedNew, nil
+}
+
+// markDone records checkpoint-restored results for jobID without a
+// lease ever existing (resume path).
+func (t *leaseTable) markDone(jobID int, results []experiment.Result) {
+	j := &t.jobs[jobID]
+	if j.state == jobDone {
+		return
+	}
+	j.state = jobDone
+	j.results = results
+	t.done++
+}
+
+// remaining counts jobs not yet done.
+func (t *leaseTable) remaining() int { return len(t.jobs) - t.done }
+
+// resultsEqual compares per-trial result slices field-for-field (Result
+// is a comparable struct of integers).
+func resultsEqual(a, b []experiment.Result) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

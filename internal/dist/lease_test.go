@@ -1,0 +1,133 @@
+package dist
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"bgpsim/internal/experiment"
+)
+
+// fakeClock is a manually advanced clock; lease tests never sleep.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+// fakeResults builds a distinguishable per-trial result slice.
+func fakeResults(tag, trials int) []experiment.Result {
+	rs := make([]experiment.Result, trials)
+	for i := range rs {
+		rs[i] = experiment.Result{Delay: time.Duration(tag)*time.Second + time.Duration(i), Messages: tag}
+	}
+	return rs
+}
+
+func TestLeaseAcquireOrderAndExhaustion(t *testing.T) {
+	clk := newFakeClock()
+	tab := newLeaseTable(3, 10*time.Second, clk.now)
+	for want := 0; want < 3; want++ {
+		id, lease, ok := tab.acquire("w")
+		if !ok || id != want || lease != int64(want+1) {
+			t.Fatalf("acquire %d = (%d, %d, %v), want (%d, %d, true)", want, id, lease, ok, want, want+1)
+		}
+	}
+	if _, _, ok := tab.acquire("w"); ok {
+		t.Error("acquire succeeded with every job validly leased")
+	}
+}
+
+func TestLeaseExpiryReassignsToNewWorker(t *testing.T) {
+	clk := newFakeClock()
+	tab := newLeaseTable(1, 10*time.Second, clk.now)
+	id, lease1, ok := tab.acquire("alice")
+	if !ok || id != 0 {
+		t.Fatalf("initial acquire = (%d, %v)", id, ok)
+	}
+	if _, _, ok := tab.acquire("bob"); ok {
+		t.Fatal("job reassigned before its lease expired")
+	}
+	clk.advance(10*time.Second + time.Nanosecond)
+	id, lease2, ok := tab.acquire("bob")
+	if !ok || id != 0 {
+		t.Fatalf("expired job not reassigned: (%d, %v)", id, ok)
+	}
+	if lease2 == lease1 {
+		t.Error("reassignment reused the old lease token")
+	}
+	if got := tab.jobs[0].worker; got != "bob" {
+		t.Errorf("job held by %q after reassignment, want bob", got)
+	}
+	if tab.jobs[0].attempts != 2 {
+		t.Errorf("attempts = %d, want 2", tab.jobs[0].attempts)
+	}
+}
+
+func TestSupersededLeaseCompletionAcceptedOnce(t *testing.T) {
+	clk := newFakeClock()
+	tab := newLeaseTable(1, time.Second, clk.now)
+	_, lease1, _ := tab.acquire("alice")
+	clk.advance(2 * time.Second)
+	_, lease2, _ := tab.acquire("bob")
+
+	// Alice finally reports under her superseded lease: deterministic
+	// results, first to finish wins.
+	got, err := tab.complete(0, lease1, fakeResults(7, 2))
+	if err != nil || got != completedNew {
+		t.Fatalf("superseded-lease completion = (%v, %v), want (completedNew, nil)", got, err)
+	}
+	// Bob's identical submission is the idempotent duplicate.
+	got, err = tab.complete(0, lease2, fakeResults(7, 2))
+	if err != nil || got != completedDuplicate {
+		t.Fatalf("duplicate completion = (%v, %v), want (completedDuplicate, nil)", got, err)
+	}
+	if tab.done != 1 || tab.remaining() != 0 {
+		t.Errorf("done = %d remaining = %d after duplicate, want 1 and 0", tab.done, tab.remaining())
+	}
+}
+
+func TestDivergentDuplicateIsError(t *testing.T) {
+	clk := newFakeClock()
+	tab := newLeaseTable(1, time.Second, clk.now)
+	_, lease, _ := tab.acquire("alice")
+	if _, err := tab.complete(0, lease, fakeResults(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := tab.complete(0, lease, fakeResults(2, 2))
+	if err == nil || !strings.Contains(err.Error(), "different results") {
+		t.Fatalf("divergent duplicate accepted: %v", err)
+	}
+}
+
+func TestCompleteWithoutLeaseIsError(t *testing.T) {
+	clk := newFakeClock()
+	tab := newLeaseTable(2, time.Second, clk.now)
+	if _, err := tab.complete(0, 1, fakeResults(1, 1)); err == nil {
+		t.Error("completion of a never-leased job accepted")
+	}
+	if _, err := tab.complete(5, 1, fakeResults(1, 1)); err == nil {
+		t.Error("completion of an out-of-range job accepted")
+	}
+}
+
+func TestMarkDoneSkipsLeasing(t *testing.T) {
+	clk := newFakeClock()
+	tab := newLeaseTable(2, time.Second, clk.now)
+	tab.markDone(1, fakeResults(3, 1))
+	tab.markDone(1, fakeResults(3, 1)) // idempotent
+	if tab.remaining() != 1 {
+		t.Fatalf("remaining = %d, want 1", tab.remaining())
+	}
+	// The only leasable job is the not-yet-done one.
+	id, _, ok := tab.acquire("w")
+	if !ok || id != 0 {
+		t.Fatalf("acquire = (%d, %v), want (0, true)", id, ok)
+	}
+	if _, _, ok := tab.acquire("w"); ok {
+		t.Error("checkpoint-restored job handed out as work")
+	}
+}

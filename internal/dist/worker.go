@@ -1,0 +1,310 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"bgpsim/internal/core"
+	"bgpsim/internal/experiment"
+)
+
+// JobRunner executes one job of a sweep and returns the cell's
+// per-trial results in trial order. The default is RegistryRunner;
+// tests and benchmarks inject no-op runners.
+type JobRunner func(ctx context.Context, desc SweepDesc, job Job) ([]experiment.Result, error)
+
+// Worker is the client half of the protocol: it polls the coordinator
+// for leases, executes jobs, and submits results, retrying transient
+// HTTP failures with exponential backoff. Configure the exported fields
+// before calling Run; the zero value of every optional field selects a
+// sensible default.
+type Worker struct {
+	// Base is the coordinator's base URL ("http://host:port").
+	Base string
+	// ID names this worker in leases and logs (default "host-pid").
+	ID string
+	// Client is the HTTP client (default: http.DefaultClient semantics
+	// with a 30s request timeout).
+	Client *http.Client
+	// Backoff shapes transient-error retries (zero value = defaults).
+	Backoff Backoff
+	// MaxAttempts bounds consecutive failed tries of one request before
+	// the worker gives up on the coordinator (default 8 — with default
+	// backoff roughly 25s of retrying).
+	MaxAttempts int
+	// PollInterval is the idle delay after a StatusWait response
+	// (default 200ms).
+	PollInterval time.Duration
+	// SimWorkers is the per-job trial parallelism handed to the cell
+	// runner (0 = GOMAXPROCS).
+	SimWorkers int
+	// Run executes jobs (nil = RegistryRunner(SimWorkers)).
+	Runner JobRunner
+	// Log receives per-job progress lines. nil discards.
+	Log *log.Logger
+
+	// sleep waits between retries/polls; tests inject instant fakes.
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+// errUnreachable marks retry-budget exhaustion talking to the
+// coordinator.
+var errUnreachable = errors.New("dist: coordinator unreachable")
+
+// BaseURL normalizes a coordinator address for Worker.Base: a bare
+// host:port gains an http:// scheme, full URLs pass through.
+func BaseURL(addr string) string {
+	if strings.Contains(addr, "://") {
+		return addr
+	}
+	return "http://" + addr
+}
+
+// Work runs the worker loop until the coordinator shuts down or
+// disappears: lease, execute, complete, repeat. A coordinator that
+// becomes unreachable after at least one successful exchange is treated
+// as a normal end of work (it exits when its figures are done) and Work
+// returns nil; a coordinator that was never reachable is an error. Job
+// execution errors are reported to the coordinator (which fails the
+// sweep) and end the loop with the error.
+func (w *Worker) Work(ctx context.Context) error {
+	w.applyDefaults()
+	runner := w.Runner
+	if runner == nil {
+		runner = RegistryRunner(w.SimWorkers)
+	}
+	everConnected := false
+	jobs := 0
+	for {
+		var lease LeaseResponse
+		err := w.post(ctx, "/v1/lease", LeaseRequest{Worker: w.ID}, &lease)
+		switch {
+		case errors.Is(err, errUnreachable) && everConnected:
+			w.Log.Printf("dist: worker %s: coordinator gone after %d jobs; exiting", w.ID, jobs)
+			return nil
+		case err != nil:
+			return err
+		}
+		everConnected = true
+		switch lease.Status {
+		case StatusShutdown:
+			w.Log.Printf("dist: worker %s: coordinator shut down after %d jobs; exiting", w.ID, jobs)
+			return nil
+		case StatusWait:
+			if err := w.sleep(ctx, w.PollInterval); err != nil {
+				return err
+			}
+		case StatusJob:
+			if lease.Desc == nil {
+				return fmt.Errorf("dist: lease for job %d without sweep descriptor", lease.Job.ID)
+			}
+			complete := CompleteRequest{
+				Worker:  w.ID,
+				SweepID: lease.SweepID,
+				JobID:   lease.Job.ID,
+				Lease:   lease.Lease,
+			}
+			results, jerr := runner(ctx, *lease.Desc, lease.Job)
+			if jerr != nil {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				complete.Error = jerr.Error()
+			} else {
+				complete.Results = results
+			}
+			var ack CompleteResponse
+			err := w.post(ctx, "/v1/complete", complete, &ack)
+			switch {
+			case errors.Is(err, errUnreachable):
+				// The lease expires and another worker redoes the cell.
+				w.Log.Printf("dist: worker %s: coordinator gone mid-submit; exiting", w.ID)
+				return nil
+			case err != nil:
+				return err
+			}
+			if jerr != nil {
+				return fmt.Errorf("dist: job %d (%s series %d x %d): %w",
+					lease.Job.ID, lease.Desc.Experiment, lease.Job.Series, lease.Job.X, jerr)
+			}
+			jobs++
+			w.Log.Printf("dist: worker %s: job %d done (%s series %d x %d, %s)",
+				w.ID, lease.Job.ID, lease.Desc.Experiment, lease.Job.Series, lease.Job.X, ack.Status)
+		default:
+			return fmt.Errorf("dist: unknown lease status %q", lease.Status)
+		}
+	}
+}
+
+// applyDefaults fills zero-valued optional fields.
+func (w *Worker) applyDefaults() {
+	if w.ID == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		w.ID = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if w.Client == nil {
+		w.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if w.MaxAttempts <= 0 {
+		w.MaxAttempts = 8
+	}
+	if w.PollInterval <= 0 {
+		w.PollInterval = 200 * time.Millisecond
+	}
+	if w.Log == nil {
+		w.Log = log.New(io.Discard, "", 0)
+	}
+	if w.sleep == nil {
+		w.sleep = sleepCtx
+	}
+}
+
+// post sends one JSON request, retrying transient failures (network
+// errors, 5xx) with backoff. Permanent failures (4xx, malformed
+// responses) return immediately; exhausting the retry budget returns
+// errUnreachable.
+func (w *Worker) post(ctx context.Context, path string, reqBody, respBody any) error {
+	payload, err := json.Marshal(reqBody)
+	if err != nil {
+		return fmt.Errorf("dist: marshal request: %w", err)
+	}
+	var lastErr error
+	for attempt := 0; attempt < w.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			if err := w.sleep(ctx, w.Backoff.Delay(attempt-1)); err != nil {
+				return err
+			}
+		}
+		lastErr = w.tryPost(ctx, path, payload, respBody)
+		if lastErr == nil {
+			return nil
+		}
+		var p permanentError
+		if errors.As(lastErr, &p) {
+			return p.err
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		w.Log.Printf("dist: worker %s: %s attempt %d/%d: %v", w.ID, path, attempt+1, w.MaxAttempts, lastErr)
+	}
+	return fmt.Errorf("%w: %s: %v", errUnreachable, path, lastErr)
+}
+
+// permanentError wraps failures that retrying cannot fix.
+type permanentError struct{ err error }
+
+func (p permanentError) Error() string { return p.err.Error() }
+
+// tryPost performs one HTTP exchange.
+func (w *Worker) tryPost(ctx context.Context, path string, payload []byte, respBody any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, strings.TrimSuffix(w.Base, "/")+path, bytes.NewReader(payload))
+	if err != nil {
+		return permanentError{fmt.Errorf("dist: build request: %w", err)}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.Client.Do(req)
+	if err != nil {
+		return err // transient: connection refused, timeout, ...
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 500 {
+		return fmt.Errorf("dist: %s: %s", path, resp.Status)
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return permanentError{fmt.Errorf("dist: %s: %s: %s", path, resp.Status, strings.TrimSpace(string(msg)))}
+	}
+	if err := json.NewDecoder(resp.Body).Decode(respBody); err != nil {
+		return permanentError{fmt.Errorf("dist: %s: decode response: %w", path, err)}
+	}
+	return nil
+}
+
+// sleepCtx sleeps d or until ctx is done.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// errJobDone aborts an experiment run once the target sweep's cell has
+// executed; RegistryRunner's interceptor returns it from the Sweeper
+// hook so Experiment.Run unwinds without running later sweeps.
+var errJobDone = errors.New("dist: job complete")
+
+// RegistryRunner returns the default job executor: it reconstructs the
+// job's sweep by re-running the experiment from the shared registry with
+// a Sweeper hook that, at the descriptor's SweepIndex, executes exactly
+// the requested cell through experiment.CellRunner and unwinds. Seeds
+// derive from grid indices, so the produced trial results are
+// bit-identical to what a local sweep computes for that cell. The
+// returned runner keeps one simulator pool across jobs; simWorkers
+// bounds per-cell trial parallelism (0 = GOMAXPROCS).
+func RegistryRunner(simWorkers int) JobRunner {
+	cells := experiment.NewCellRunner()
+	return func(ctx context.Context, desc SweepDesc, job Job) ([]experiment.Result, error) {
+		if desc.Protocol != ProtocolVersion {
+			return nil, fmt.Errorf("dist: coordinator speaks %q, this worker %q", desc.Protocol, ProtocolVersion)
+		}
+		exp, err := core.Lookup(desc.Experiment)
+		if err != nil {
+			return nil, err
+		}
+		opts := desc.Options.Core()
+		opts.Workers = simWorkers
+		opts.Context = ctx
+		var results []experiment.Result
+		var cellErr error
+		index := 0
+		opts.Sweeper = func(cfg experiment.SweepConfig) (experiment.Figure, error) {
+			i := index
+			index++
+			if i != desc.SweepIndex {
+				// Not the target sweep: skip its execution entirely.
+				// Current experiments never inspect a sweep's figure to
+				// build the next one, so an empty figure is safe.
+				return experiment.Figure{}, nil
+			}
+			cfg, err := experiment.NormalizeSweep(cfg)
+			if err != nil {
+				cellErr = err
+				return experiment.Figure{}, errJobDone
+			}
+			got := Grid{Series: len(cfg.SeriesNames), Xs: len(cfg.Xs), Trials: cfg.Trials}
+			if got != desc.Grid {
+				cellErr = fmt.Errorf("dist: grid mismatch for %s sweep %d: coordinator %+v, worker %+v — binaries out of sync",
+					desc.Experiment, desc.SweepIndex, desc.Grid, got)
+				return experiment.Figure{}, errJobDone
+			}
+			results, cellErr = cells.RunCell(ctx, cfg, job.Series, job.X, simWorkers)
+			return experiment.Figure{}, errJobDone
+		}
+		_, err = exp.Run(opts)
+		switch {
+		case errors.Is(err, errJobDone):
+			return results, cellErr
+		case err != nil:
+			return nil, err
+		default:
+			return nil, fmt.Errorf("dist: experiment %s ran %d sweeps, job addresses sweep %d", desc.Experiment, index, desc.SweepIndex)
+		}
+	}
+}

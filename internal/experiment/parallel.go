@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -57,20 +58,26 @@ func forEachIndex(n, workers int, fn func(i int)) {
 // runTrialsInto executes the trials of sc (seeds trialSeed(Seed, 0..n-1))
 // over a pool of workers goroutines, storing each trial's result and
 // error at its index. It is the single implementation behind RunTrials,
-// RunTrialsParallel, and Sweep's per-cell execution, so the serial and
-// parallel paths cannot drift. Once a trial fails, trials that have not
-// yet started are skipped (marked errSkipped); in-flight ones finish.
-// pool, when non-nil, recycles simulators across trials that share a
-// memoized topology.
-func runTrialsInto(sc Scenario, results []Result, errs []error, workers int, failed *atomic.Bool, pool *simPool) {
+// RunTrialsParallel, Sweep's per-cell execution, and CellRunner.RunCell,
+// so the serial, parallel, and distributed paths cannot drift. Once a
+// trial fails (or ctx is canceled), trials that have not yet started are
+// skipped (marked errSkipped); in-flight ones finish or abort on the
+// engine's cancellation probe. pool, when non-nil, recycles simulators
+// across trials that share a memoized topology.
+func runTrialsInto(ctx context.Context, sc Scenario, results []Result, errs []error, workers int, failed *atomic.Bool, pool *simPool) {
 	forEachIndex(len(results), workers, func(i int) {
 		if failed.Load() {
 			errs[i] = errSkipped
 			return
 		}
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			failed.Store(true)
+			return
+		}
 		trial := sc
 		trial.Seed = trialSeed(sc.Seed, i)
-		results[i], errs[i] = runScenario(trial, pool)
+		results[i], errs[i] = runScenario(ctx, trial, pool)
 		if errs[i] != nil {
 			failed.Store(true)
 		}
@@ -88,14 +95,14 @@ func firstTrialError(errs []error) (int, error) {
 }
 
 // runTrials is the shared body of RunTrials and RunTrialsParallel.
-func runTrials(sc Scenario, n, workers int) (Stats, error) {
+func runTrials(ctx context.Context, sc Scenario, n, workers int) (Stats, error) {
 	if n < 1 {
 		return Stats{}, fmt.Errorf("experiment: trials=%d", n)
 	}
 	results := make([]Result, n)
 	errs := make([]error, n)
 	var failed atomic.Bool
-	runTrialsInto(sc, results, errs, workers, &failed, newSimPool())
+	runTrialsInto(ctx, sc, results, errs, workers, &failed, newSimPool())
 	if i, err := firstTrialError(errs); err != nil {
 		return Stats{}, fmt.Errorf("trial %d: %w", i, err)
 	}
@@ -109,5 +116,13 @@ func runTrials(sc Scenario, n, workers int) (Stats, error) {
 // index order); only wall-clock time changes. workers <= 0 selects
 // GOMAXPROCS.
 func RunTrialsParallel(sc Scenario, n, workers int) (Stats, error) {
-	return runTrials(sc, n, normalizeWorkers(workers))
+	return runTrials(context.Background(), sc, n, normalizeWorkers(workers))
+}
+
+// RunTrialsContext is RunTrialsParallel with cancellation: when ctx is
+// canceled, unstarted trials are skipped and in-flight simulations abort
+// at the engine's next cancellation probe, and the context error is
+// returned. Results of a run that completes are unaffected by ctx.
+func RunTrialsContext(ctx context.Context, sc Scenario, n, workers int) (Stats, error) {
+	return runTrials(ctx, sc, n, normalizeWorkers(workers))
 }

@@ -5,6 +5,8 @@
 package experiment
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -131,17 +133,19 @@ type Result struct {
 // from the process-wide memo (see topocache.go); repeated runs of the
 // same (spec, seed) share one immutable network.
 func Run(sc Scenario) (Result, error) {
-	return runScenario(sc, nil)
+	return runScenario(context.Background(), sc, nil)
 }
 
 // runScenario is the single trial implementation behind Run, RunTrials,
 // and Sweep. When pool is non-nil, a simulator previously built on the
 // same memoized network is Reset and reused instead of constructing a
-// fresh one; results are byte-identical either way. The RNG stream
+// fresh one; results are byte-identical either way. ctx cancellation
+// aborts the simulation between events via the engine's probe; it can
+// never alter the results of a run that completes. The RNG stream
 // derivation (topology, failure, sim — in that order off the root) is
 // load-bearing: each Split advances the root, so the splits must happen
 // unconditionally even when the topology comes from the cache.
-func runScenario(sc Scenario, pool *simPool) (Result, error) {
+func runScenario(ctx context.Context, sc Scenario, pool *simPool) (Result, error) {
 	root := des.NewRNG(sc.Seed)
 	topoRNG := root.Split("topology")
 	failRNG := root.Split("failure")
@@ -185,10 +189,19 @@ func runScenario(sc Scenario, pool *simPool) (Result, error) {
 	if err != nil {
 		return Result{}, fmt.Errorf("select failure: %w", err)
 	}
+	if done := ctx.Done(); done != nil {
+		sim.SetCancel(func() bool { return ctx.Err() != nil })
+	}
 	delay, err := sim.ConvergeAndFail(nodes)
 	if err != nil {
+		// Surface cancellation as the context's own error; the aborted
+		// simulator is left unpooled (its state is mid-run).
+		if errors.Is(err, des.ErrCanceled) && ctx.Err() != nil {
+			return Result{}, ctx.Err()
+		}
 		return Result{}, err
 	}
+	sim.SetCancel(nil)
 	col := sim.Collector()
 	res := Result{
 		Delay:         delay,
@@ -247,7 +260,7 @@ func cellSeed(base int64, si, xi int, sameWorld bool) int64 {
 // share one implementation, so their results are identical by
 // construction.
 func RunTrials(sc Scenario, n int) (Stats, error) {
-	return runTrials(sc, n, 1)
+	return runTrials(context.Background(), sc, n, 1)
 }
 
 func aggregate(results []Result) Stats {

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -75,6 +76,37 @@ type SweepConfig struct {
 	Progress func(done, total int)
 }
 
+// Sweeper executes one sweep grid and returns the assembled figure. The
+// local executor is Sweep (via SweepContext); internal/dist provides a
+// coordinator-backed executor that farms the grid out to remote workers
+// while producing byte-identical figures.
+type Sweeper func(SweepConfig) (Figure, error)
+
+// NormalizeSweep validates cfg and fills defaulted fields (Trials,
+// Metric). It rejects empty grids and grids that would overlap RNG
+// streams across cells: trial seeds step +1 inside a cell, so a cell may
+// hold at most seedStrideX trials, and the x axis must fit inside the
+// series stride. Sweep and every distributed executor share this exact
+// validation, so a grid is legal locally iff it is legal remotely.
+func NormalizeSweep(cfg SweepConfig) (SweepConfig, error) {
+	if len(cfg.SeriesNames) == 0 || len(cfg.Xs) == 0 {
+		return cfg, fmt.Errorf("experiment: empty sweep")
+	}
+	if cfg.Trials < 1 {
+		cfg.Trials = 1
+	}
+	if cfg.Trials > seedStrideX {
+		return cfg, fmt.Errorf("experiment: %d trials per cell exceeds the cell seed stride %d; RNG streams would overlap across cells", cfg.Trials, seedStrideX)
+	}
+	if max := seedStrideSeries / seedStrideX; len(cfg.Xs) > max {
+		return cfg, fmt.Errorf("experiment: %d sweep points exceed the series seed stride (max %d); RNG streams would overlap across series", len(cfg.Xs), max)
+	}
+	if cfg.Metric == 0 {
+		cfg.Metric = MetricDelay
+	}
+	return cfg, nil
+}
+
 // Sweep runs a grid of scenarios and assembles a Figure. Each cell is
 // replicated Trials times; the per-cell seed is derived from the base
 // scenario seed, the x index, and (unless SameWorldAcrossSeries) the
@@ -84,23 +116,17 @@ type SweepConfig struct {
 // order, making the figure independent of worker count and completion
 // order.
 func Sweep(cfg SweepConfig) (Figure, error) {
-	if len(cfg.SeriesNames) == 0 || len(cfg.Xs) == 0 {
-		return Figure{}, fmt.Errorf("experiment: empty sweep")
-	}
-	if cfg.Trials < 1 {
-		cfg.Trials = 1
-	}
-	// Reject grids that would overlap RNG streams across cells: trial
-	// seeds step +1 inside a cell, so a cell may hold at most seedStrideX
-	// trials, and the x axis must fit inside the series stride.
-	if cfg.Trials > seedStrideX {
-		return Figure{}, fmt.Errorf("experiment: %d trials per cell exceeds the cell seed stride %d; RNG streams would overlap across cells", cfg.Trials, seedStrideX)
-	}
-	if max := seedStrideSeries / seedStrideX; len(cfg.Xs) > max {
-		return Figure{}, fmt.Errorf("experiment: %d sweep points exceed the series seed stride (max %d); RNG streams would overlap across series", len(cfg.Xs), max)
-	}
-	if cfg.Metric == 0 {
-		cfg.Metric = MetricDelay
+	return SweepContext(context.Background(), cfg)
+}
+
+// SweepContext is Sweep with cancellation: when ctx is canceled,
+// unstarted trials are skipped, in-flight simulations abort at the
+// engine's next cancellation probe, and the context error is returned.
+// Cancellation can never alter the figure of a sweep that completes.
+func SweepContext(ctx context.Context, cfg SweepConfig) (Figure, error) {
+	cfg, err := NormalizeSweep(cfg)
+	if err != nil {
+		return Figure{}, err
 	}
 	workers := normalizeWorkers(cfg.Workers)
 
@@ -110,10 +136,8 @@ func Sweep(cfg SweepConfig) (Figure, error) {
 	total := len(cfg.SeriesNames) * nx
 	cells := make([]Scenario, total)
 	for si := range cfg.SeriesNames {
-		for xi, x := range cfg.Xs {
-			sc := cfg.Cell(si, x)
-			sc.Seed = cellSeed(sc.Seed, si, xi, cfg.SameWorldAcrossSeries)
-			cells[si*nx+xi] = sc
+		for xi := range cfg.Xs {
+			cells[si*nx+xi] = CellScenario(cfg, si, xi)
 		}
 	}
 
@@ -138,7 +162,7 @@ func Sweep(cfg SweepConfig) (Figure, error) {
 		}
 		trial := cells[c]
 		trial.Seed = trialSeed(trial.Seed, j%cfg.Trials)
-		results[j], errs[j] = runScenario(trial, pool)
+		results[j], errs[j] = runScenario(ctx, trial, pool)
 		if errs[j] != nil {
 			failed.Store(true)
 			return
@@ -154,21 +178,47 @@ func Sweep(cfg SweepConfig) (Figure, error) {
 		mu.Unlock()
 	})
 
+	if err := firstSweepError(cfg, errs); err != nil {
+		return Figure{}, err
+	}
+	return assembleFigure(cfg, results), nil
+}
+
+// firstSweepError scans per-trial errors in (series, x, trial) order and
+// returns the first real one annotated with its grid coordinates.
+func firstSweepError(cfg SweepConfig, errs []error) error {
+	nx := len(cfg.Xs)
+	for si, name := range cfg.SeriesNames {
+		for xi, x := range cfg.Xs {
+			c := si*nx + xi
+			cellErrs := errs[c*cfg.Trials : (c+1)*cfg.Trials]
+			if i, err := firstTrialError(cellErrs); err != nil {
+				return fmt.Errorf("series %q x=%v: trial %d: %w", name, x, i, err)
+			}
+		}
+	}
+	return nil
+}
+
+// assembleFigure aggregates a completed grid's per-trial results (flat,
+// cell-major with trials innermost — index (si·len(Xs)+xi)·Trials+t)
+// into the figure. It is the single merge implementation behind the
+// local Sweep and the distributed coordinator, and it consumes results
+// in fixed (series, x, trial) order, so a figure's bytes depend only on
+// the trial results, never on where or in what order they were computed.
+func assembleFigure(cfg SweepConfig, results []Result) Figure {
+	nx := len(cfg.Xs)
 	fig := Figure{YLabel: cfg.Metric.String()}
 	for si, name := range cfg.SeriesNames {
 		series := Series{Name: name}
 		for xi, x := range cfg.Xs {
 			c := si*nx + xi
-			cellErrs := errs[c*cfg.Trials : (c+1)*cfg.Trials]
-			if i, err := firstTrialError(cellErrs); err != nil {
-				return Figure{}, fmt.Errorf("series %q x=%v: trial %d: %w", name, x, i, err)
-			}
 			st := aggregate(results[c*cfg.Trials : (c+1)*cfg.Trials])
 			series.Points = append(series.Points, Point{X: x, Y: cfg.Metric.value(st)})
 		}
 		fig.Series = append(fig.Series, series)
 	}
-	return fig, nil
+	return fig
 }
 
 // FailureSizesPct is the failure-size axis the paper sweeps (percent of
