@@ -169,6 +169,26 @@ func CustomScheme(name string, apply func(*Params)) Scheme {
 	return experiment.Custom(name, apply)
 }
 
+// Scenario presets.
+
+// LargeScale500 is the 500-AS stress scenario behind the
+// ConvergeLargeScale benchmark and the scale table in EXPERIMENTS.md: an
+// Internet-like heavy-tailed topology at 500 ASes, a 10% geographic
+// failure, and the paper's dynamic MRAI ladder. At this size the
+// highest-degree routers peer with dozens of neighbors, which is what
+// the incremental decision process and the calendar event queue are
+// sized for.
+func LargeScale500() Scenario {
+	return Scenario{
+		Topology: InternetLike(500),
+		Failure:  GeographicFailure(0.10),
+		// The paper's best configuration (batching + dynamic ladder)
+		// keeps the message volume — and the benchmark's wall clock —
+		// bounded at this scale.
+		Scheme: BatchedDynamic(),
+	}
+}
+
 // Routing policies (Gao–Rexford).
 
 // Relationships records per-link business relationships for policy

@@ -27,6 +27,7 @@ import (
 	"testing"
 
 	"bgpsim/internal/bench"
+	"bgpsim/internal/bgp"
 	"bgpsim/internal/profiling"
 )
 
@@ -77,12 +78,14 @@ func run(args []string, out *os.File) error {
 		outPath   = fs.String("out", "", "write results as JSON to this file")
 		checkPath = fs.String("check", "", "compare allocs/op against this baseline JSON and fail on regression")
 		tolerance = fs.Float64("tolerance", 1.10, "with -check: allowed allocs/op ratio over baseline")
+		fullScan  = fs.Bool("fullscan", false, "disable the incremental decision process (pre-PR-5 baseline mode)")
 	)
 	var prof profiling.Config
 	prof.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	bgp.ForceFullScanDefault = *fullScan
 
 	if *list {
 		for _, e := range bench.Suite() {

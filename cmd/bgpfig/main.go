@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"bgpsim"
+	"bgpsim/internal/bgp"
 	"bgpsim/internal/dist"
 	"bgpsim/internal/profiling"
 )
@@ -51,17 +52,18 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("bgpfig", flag.ContinueOnError)
 	var (
-		figID   = fs.String("fig", "all", "figure to regenerate: all, 1..13, or an ablation id")
-		list    = fs.Bool("list", false, "list available experiments and exit")
-		quick   = fs.Bool("quick", false, "reduced scale (60 nodes, 1 trial, coarse axes)")
-		nodes   = fs.Int("nodes", 0, "override node/AS count")
-		trials  = fs.Int("trials", 0, "override trials per data point")
-		seed    = fs.Int64("seed", 0, "override base seed")
-		maxAS   = fs.Int("max-as-size", 0, "override fig13's routers-per-AS cap (paper: 100)")
-		workers = fs.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS, 1 = serial; same bytes either way)")
-		outDir  = fs.String("o", "", "also write each figure to <dir>/<id>.txt")
-		asJSON  = fs.Bool("json", false, "with -o: additionally write <id>.json for plotting tools")
-		quiet   = fs.Bool("q", false, "suppress progress output")
+		figID    = fs.String("fig", "all", "figure to regenerate: all, 1..13, or an ablation id")
+		list     = fs.Bool("list", false, "list available experiments and exit")
+		quick    = fs.Bool("quick", false, "reduced scale (60 nodes, 1 trial, coarse axes)")
+		nodes    = fs.Int("nodes", 0, "override node/AS count")
+		trials   = fs.Int("trials", 0, "override trials per data point")
+		seed     = fs.Int64("seed", 0, "override base seed")
+		maxAS    = fs.Int("max-as-size", 0, "override fig13's routers-per-AS cap (paper: 100)")
+		workers  = fs.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS, 1 = serial; same bytes either way)")
+		outDir   = fs.String("o", "", "also write each figure to <dir>/<id>.txt")
+		asJSON   = fs.Bool("json", false, "with -o: additionally write <id>.json for plotting tools")
+		quiet    = fs.Bool("q", false, "suppress progress output")
+		fullScan = fs.Bool("fullscan", false, "disable the incremental decision process (pre-PR-5 baseline; output must be byte-identical)")
 
 		serve    = fs.String("serve", "", "coordinate a distributed run: listen on host:port and hand sweep cells to workers")
 		connect  = fs.String("connect", "", "run as a worker: pull sweep cells from the coordinator at host:port, then exit")
@@ -73,6 +75,7 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	bgp.ForceFullScanDefault = *fullScan
 	if err := prof.Start(); err != nil {
 		return err
 	}

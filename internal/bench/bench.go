@@ -98,10 +98,19 @@ func Suite() []Entry {
 				Scheme:   bgpsim.DynamicMRAI(),
 			}, 8)
 		}},
+		{"ConvergeLargeScale", func(b *testing.B) {
+			// The PR-5 scale target: 500 ASes through the incremental
+			// decision process. Seed-cycled so the topology memo serves the
+			// worlds and the entry measures the simulation, not generation.
+			scenarioSeedCycle(b, bgpsim.LargeScale500(), 4)
+		}},
 		{"ConvergeAndFailFIFOReset", convergeAndFailReset},
 		{"TopologyCacheHit", topologyCacheHit},
 		{"TopologyCacheMiss", topologyCacheMiss},
 		{"DESHeapPushPop", desHeapPushPop},
+		{"DESCalendarPushPop", desCalendarPushPop},
+		{"DESHeapMRAIHorizon", desHeapMRAIHorizon},
+		{"DESCalendarMRAIHorizon", desCalendarMRAIHorizon},
 		{"DistDispatch", distDispatch},
 	}
 }
@@ -298,20 +307,60 @@ func protocolRoundTrip(h http.Handler, path string, req, resp any) error {
 	return json.Unmarshal(rec.Body.Bytes(), resp)
 }
 
-// desHeapPushPop measures the event queue alone at the occupancy a
-// 500-AS simulation sustains (~4096 outstanding events): one iteration
-// schedules and drains the full queue through the engine.
+// desHeapPushPop measures the plain 4-ary heap event queue at the
+// occupancy a 500-AS simulation sustains (~4096 outstanding events):
+// one iteration schedules and drains the full queue through a
+// heap-only engine. Baseline for DESCalendarPushPop.
 func desHeapPushPop(b *testing.B) {
+	desQueueBench(b, des.NewHeapOnlyEngine, desUniformDelays())
+}
+
+// desCalendarPushPop is the same workload through the default engine,
+// whose calendar queue buckets short-horizon events.
+func desCalendarPushPop(b *testing.B) {
+	desQueueBench(b, des.NewEngine, desUniformDelays())
+}
+
+// desCalendarMRAIHorizon compares the queues on the distribution BGP
+// runs actually produce: MRAI timer delays clustered in 0.5–2.25s,
+// which land within the calendar ring's horizon.
+func desCalendarMRAIHorizon(b *testing.B) {
+	desQueueBench(b, des.NewEngine, desMRAIDelays())
+}
+
+func desHeapMRAIHorizon(b *testing.B) {
+	desQueueBench(b, des.NewHeapOnlyEngine, desMRAIDelays())
+}
+
+// desUniformDelays spreads 4096 events over 1ms — heavy same-bucket
+// collisions for the calendar ring.
+func desUniformDelays() []des.Time {
 	const events = 4096
 	rng := des.NewRNG(7)
 	delays := make([]des.Time, events)
 	for i := range delays {
 		delays[i] = des.Time(rng.Intn(1_000_000))
 	}
+	return delays
+}
+
+// desMRAIDelays mimics MRAI timer re-arms: 4096 events uniform in
+// 0.5–2.25s, the paper's dynamic-ladder range.
+func desMRAIDelays() []des.Time {
+	const events = 4096
+	rng := des.NewRNG(11)
+	delays := make([]des.Time, events)
+	for i := range delays {
+		delays[i] = des.Time(500_000_000 + rng.Intn(1_750_000_000))
+	}
+	return delays
+}
+
+func desQueueBench(b *testing.B, newEngine func() *des.Engine, delays []des.Time) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		eng := des.NewEngine()
+		eng := newEngine()
 		for _, d := range delays {
 			eng.Schedule(d, func() {})
 		}

@@ -2,6 +2,8 @@ package bgp
 
 import (
 	"testing"
+
+	"bgpsim/internal/topology"
 )
 
 // The end-to-end BenchmarkConvergeAndFail* benchmarks moved to
@@ -9,9 +11,12 @@ import (
 // internal/bench registry also used by cmd/bgpbench. This file keeps the
 // micro-benchmarks that need unexported access.
 
-func BenchmarkDecisionProcess(b *testing.B) {
-	peers := make([]Peer, 8)
-	alive := make([]bool, 8)
+// decideBench measures the full decision-process scan at a given peer
+// degree — the cost the incremental path avoids. Degrees 64/128 model
+// the highest-degree nodes of the 500-AS Internet-like topologies.
+func decideBench(b *testing.B, degree int) {
+	peers := make([]Peer, degree)
+	alive := make([]bool, degree)
 	for i := range peers {
 		peers[i] = Peer{Node: i, AS: 10 + i}
 		alive[i] = true
@@ -22,10 +27,76 @@ func BenchmarkDecisionProcess(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, ok := decide(rib, 99, peers, alive, nil, nil, 0); !ok {
+		if _, _, ok := decide(rib, 99, peers, alive, nil, nil, 0); !ok {
 			b.Fatal("no route")
 		}
 	}
+}
+
+func BenchmarkDecisionProcess(b *testing.B)     { decideBench(b, 8) }
+func BenchmarkDecideDegree16(b *testing.B)      { decideBench(b, 16) }
+func BenchmarkDecideDegree64(b *testing.B)      { decideBench(b, 64) }
+func BenchmarkDecideDegree128(b *testing.B)     { decideBench(b, 128) }
+func BenchmarkRunDecisionDegree16(b *testing.B) { runDecisionBench(b, 16, false) }
+func BenchmarkRunDecisionDegree64(b *testing.B) { runDecisionBench(b, 64, false) }
+func BenchmarkRunDecisionDegree128(b *testing.B) {
+	runDecisionBench(b, 128, false)
+}
+
+func BenchmarkRunDecisionDegree128FullScan(b *testing.B) {
+	runDecisionBench(b, 128, true)
+}
+
+// runDecisionBench measures the per-batch decision work through the real
+// router entry point (finishProcessing): a hub router with the given
+// degree receives a batch touching degree/2 distinct destinations, one
+// announcement each, none of which beats the incumbent (the origin
+// spoke's direct route). The incremental path classifies each as a no-op
+// in O(1); the full scan pays an O(degree) decide per touched
+// destination, O(degree²) per batch — the shape a large failure's
+// exploration traffic takes at high-degree nodes.
+func runDecisionBench(b *testing.B, degree int, fullScan bool) {
+	nw := starNetwork(b, degree)
+	p := DefaultParams()
+	p.ForceFullScan = fullScan
+	sim, err := New(nw, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim.Start()
+	if err := sim.Run(); err != nil {
+		b.Fatal(err)
+	}
+	const hub = 0
+	r := sim.routers[hub]
+	// Batch: for each destination d (originated by spoke node d), a
+	// different spoke announces a longer (worse) path.
+	batch := make([]Update, degree/2)
+	for i := range batch {
+		dest := ASN(i + 1)
+		spoke := i + 2 // never the origin spoke for this dest
+		batch[i] = Update{From: spoke, Dest: dest, Path: Path{ASN(spoke), 900, dest}}
+	}
+	r.busyStart = sim.eng.Now()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.busy = true
+		r.finishProcessing(batch)
+	}
+}
+
+// starNetwork builds a hub-and-spoke AS graph: node 0 is the hub peered
+// with every spoke, giving it the requested degree.
+func starNetwork(b *testing.B, degree int) *topology.Network {
+	b.Helper()
+	nw := topology.NewNetwork(degree + 1)
+	for spoke := 1; spoke <= degree; spoke++ {
+		if err := nw.AddLink(0, spoke, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return nw
 }
 
 func BenchmarkInboxFIFO(b *testing.B) {
@@ -39,7 +110,7 @@ func BenchmarkInboxFIFO(b *testing.B) {
 }
 
 func BenchmarkInboxBatched(b *testing.B) {
-	q := &batchInbox{byDest: make(map[ASN][]Update), discardStale: true}
+	q := &batchInbox{byDest: make([][]Update, 4096), discardStale: true}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		// Three updates for one destination, two from the same neighbor:

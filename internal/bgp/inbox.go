@@ -30,11 +30,13 @@ type Inbox interface {
 }
 
 // newInbox builds the inbox for the configured queue discipline.
-func newInbox(p Params) Inbox {
+// ndests dimensions the dense per-destination tables of the batching
+// discipline (ignored by the others).
+func newInbox(p Params, ndests int) Inbox {
 	switch p.Queue {
 	case QueueBatched:
 		return &batchInbox{
-			byDest:       make(map[ASN][]Update),
+			byDest:       make([][]Update, ndests),
 			discardStale: p.BatchDiscardStale,
 		}
 	case QueueRouterBatch:
@@ -110,9 +112,13 @@ func (q *fifoInbox) Reset() {
 // still-queued older update from the same neighbor for the same
 // destination ("the older updates are now invalid").
 type batchInbox struct {
-	order        []ASN // destinations with pending updates, FIFO by first arrival
-	orderHead    int   // consumed prefix of order; reset when it drains
-	byDest       map[ASN][]Update
+	order     []ASN // destinations with pending updates, FIFO by first arrival
+	orderHead int   // consumed prefix of order; reset when it drains
+	// byDest is dense by destination index (destinations are small dense
+	// integers, like every other per-dest table): a non-empty slice holds
+	// the pending batch, nil means none. Replaces a map whose hashing and
+	// bucket churn dominated the inbox at 500-AS scale.
+	byDest       [][]Update
 	free         [][]Update // recycled batch backing arrays
 	size         int
 	discarded    int
@@ -124,8 +130,8 @@ var _ Inbox = (*batchInbox)(nil)
 // Push files the update under its destination, applying staleness
 // elimination when enabled.
 func (q *batchInbox) Push(u Update) {
-	list, pending := q.byDest[u.Dest]
-	if !pending {
+	list := q.byDest[u.Dest]
+	if len(list) == 0 {
 		q.order = append(q.order, u.Dest)
 		if n := len(q.free); list == nil && n > 0 {
 			list = q.free[n-1]
@@ -161,11 +167,11 @@ func (q *batchInbox) Pop() []Update {
 			q.order = q.order[:0]
 			q.orderHead = 0
 		}
-		list, ok := q.byDest[dest]
-		if !ok || len(list) == 0 {
+		list := q.byDest[dest]
+		if len(list) == 0 {
 			continue
 		}
-		delete(q.byDest, dest)
+		q.byDest[dest] = nil
 		q.size -= len(list)
 		return list
 	}
@@ -193,13 +199,16 @@ func (q *batchInbox) Recycle(batch []Update) {
 }
 
 // Reset empties the inbox, moving queued per-destination lists to the
-// free list so their backing arrays are reused by the next run.
+// free list so their backing arrays are reused by the next run. Every
+// pending destination appears in order (appended on its first push), so
+// scanning order — not all of byDest — keeps this O(recent traffic);
+// duplicates are harmless because the first visit nils the slot.
 func (q *batchInbox) Reset() {
-	for dest, list := range q.byDest {
-		if cap(list) > 0 {
+	for _, dest := range q.order {
+		if list := q.byDest[dest]; cap(list) > 0 {
 			q.free = append(q.free, list[:0])
+			q.byDest[dest] = nil
 		}
-		delete(q.byDest, dest)
 	}
 	q.order = q.order[:0]
 	q.orderHead = 0

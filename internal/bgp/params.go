@@ -124,6 +124,16 @@ type Params struct {
 	// over this interval to avoid a synchronized start.
 	OriginationSpread time.Duration
 
+	// ForceFullScan disables the incremental decision-process fast path:
+	// every touched destination is re-ranked with a full peer-slot scan,
+	// as if the best-slot cache did not exist. Output is identical either
+	// way (differential tests pin it); the knob exists so tests and the
+	// CI determinism job can regenerate figures in both modes against the
+	// same goldens. Note the fast path already stands down by itself when
+	// flap damping is enabled (suppression decays with time, so a cached
+	// winner cannot be trusted without a rescan).
+	ForceFullScan bool
+
 	// Seed drives every random draw in the simulation (processing delays,
 	// jitter, origination stagger).
 	Seed int64
@@ -133,6 +143,16 @@ type Params struct {
 	// tracing at negligible cost.
 	Tracer trace.Tracer
 }
+
+// ForceFullScanDefault seeds Params.ForceFullScan in DefaultParams. The
+// whole figure pipeline builds its parameters through DefaultParams, so
+// flipping this before a run (the bgpfig/bgpbench -fullscan flag)
+// regenerates figures or benchmarks with the incremental decision path
+// disabled — the hook the CI determinism job uses to byte-compare both
+// modes against the committed goldens. Set it before starting any
+// simulation; it is read once per run at parameter construction and is
+// not synchronized.
+var ForceFullScanDefault bool
 
 // DefaultParams returns the paper's simulation configuration with a 30 s
 // constant MRAI (the Internet default the paper starts from).
@@ -147,6 +167,7 @@ func DefaultParams() Params {
 		IntDelay:          1 * time.Millisecond,
 		JitterTimers:      true,
 		OriginationSpread: 100 * time.Millisecond,
+		ForceFullScan:     ForceFullScanDefault,
 		Seed:              1,
 	}
 }

@@ -1,0 +1,59 @@
+package bgp
+
+// pathArena carves immutable path slices out of large reusable blocks.
+// Export paths (the prepended announcement every Loc-RIB change
+// produces) are by far the simulator's largest allocation site — one
+// small slice per route change, about a million per 500-AS trial. All of
+// them share one lifetime: references spread through Adj-RIB-Ins and
+// in-flight updates, and every one dies at Simulator.Reset, when RIBs
+// are cleared and the engine is drained. The arena exploits that:
+// allocation is a bump pointer into the current block, and Reset rewinds
+// to the first block, so a pooled simulator's steady-state trials
+// allocate no path memory at all.
+//
+// Slices are carved with a full-capacity cap, so an append on a carved
+// path can never bleed into its neighbor. The arena is single-threaded,
+// like the Simulator that owns it.
+type pathArena struct {
+	blocks [][]ASN
+	bi     int // index of the block currently carved from
+	off    int // carve offset into blocks[bi]
+}
+
+// arenaBlockLen is the block size in path elements. Paths are short
+// (mean ≈ network diameter), so one block serves thousands of exports.
+const arenaBlockLen = 8192
+
+// alloc returns a zeroed slice of n elements carved from the arena.
+func (a *pathArena) alloc(n int) []ASN {
+	if n > arenaBlockLen {
+		// Oversized request: fall back to the heap rather than dedicating
+		// block bookkeeping to a case that cannot occur for real AS paths.
+		return make([]ASN, n)
+	}
+	if a.bi < len(a.blocks) && a.off+n > arenaBlockLen {
+		a.bi++
+		a.off = 0
+	}
+	if a.bi == len(a.blocks) {
+		a.blocks = append(a.blocks, make([]ASN, arenaBlockLen))
+	}
+	s := a.blocks[a.bi][a.off : a.off+n : a.off+n]
+	a.off += n
+	return s
+}
+
+// prepend builds prependPath(as, p) in arena storage.
+func (a *pathArena) prepend(as ASN, p Path) Path {
+	s := a.alloc(len(p) + 1)
+	s[0] = as
+	copy(s[1:], p)
+	return s
+}
+
+// rewind forgets every carved slice while keeping the blocks. Only legal
+// when no live references remain — i.e. from Simulator.Reset, after RIBs
+// are cleared and pending events discarded. Blocks are not zeroed: a
+// stale read through a leaked reference would see old path data, which
+// the reset invariant rules out.
+func (a *pathArena) rewind() { a.bi, a.off = 0, 0 }

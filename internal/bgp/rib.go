@@ -20,6 +20,23 @@ type locEntry struct {
 	// unpooled simulator. nil means "not computed yet" (a computed export
 	// always has length >= 1: the local AS).
 	export Path
+
+	// asMask is a Bloom-style filter over the ASes on path (bit as&63 set
+	// for every hop), computed lazily under maskOK. A clear bit proves the
+	// AS is not on the path, so the per-peer export loop can skip the
+	// pathContains scan for almost every peer. Derived from path like
+	// export, and likewise ignored by sameAs.
+	asMask uint64
+	maskOK bool
+}
+
+// pathASMask folds the ASes on p into a 64-bit Bloom mask.
+func pathASMask(p Path) uint64 {
+	var m uint64
+	for _, as := range p {
+		m |= 1 << (uint(as) & 63)
+	}
+	return m
 }
 
 // selfRoute is the Loc-RIB entry for a locally originated prefix.
@@ -232,20 +249,13 @@ func (rib *adjRIBIn) destsViaSlot(slot int, buf []ASN) []ASN {
 	return rib.slots[slot].has.appendIndices(buf)
 }
 
-// destsVia returns the sorted destinations with a route from peer node.
-func (rib *adjRIBIn) destsVia(from NodeID) []ASN {
-	slot, ok := rib.slotOf[from]
-	if !ok {
-		return nil
-	}
-	return rib.destsViaSlot(slot, nil)
-}
-
 // decide runs the decision process for dest over the candidate routes in
 // the Adj-RIB-In: shortest AS path wins; ties break EBGP-over-IBGP, then
 // lowest peer AS, then lowest peer node ID. Peers are scanned in slot
-// order so the result is deterministic. The second return is false when
-// no route exists.
+// order so the result is deterministic. The slot return identifies the
+// winning peer slot (-1 when no route exists, mirrored by the false
+// final return); router.bestSlot caches it so the incremental decision
+// path can skip this scan entirely.
 //
 // The paper's simulations select routes on path length alone with no
 // policy; the deterministic tie-break stands in for SSFNet's router-ID
@@ -255,10 +265,11 @@ func (rib *adjRIBIn) destsVia(from NodeID) []ASN {
 // provider-learned, the standard local-pref assignment — before path
 // length. self is the deciding router's node id.
 func decide(rib *adjRIBIn, dest ASN, peers []Peer, peerAlive []bool, damp *damper,
-	rel *topology.Relationships, self NodeID) (locEntry, bool) {
+	rel *topology.Relationships, self NodeID) (locEntry, int, bool) {
 	best := locEntry{}
 	bestPeer := Peer{}
 	bestClass := 0
+	bestSlot := -1
 	found := false
 	for slot, peer := range peers {
 		if peerAlive != nil && !peerAlive[slot] {
@@ -274,10 +285,10 @@ func decide(rib *adjRIBIn, dest ASN, peers []Peer, peerAlive []bool, damp *dampe
 		cand := locEntry{path: path, from: peer.Node, fromInternal: peer.Internal}
 		class := routeClass(rel, self, peer)
 		if !found || betterRoute(cand, peer, class, best, bestPeer, bestClass) {
-			best, bestPeer, bestClass, found = cand, peer, class, true
+			best, bestPeer, bestClass, bestSlot, found = cand, peer, class, slot, true
 		}
 	}
-	return best, found
+	return best, bestSlot, found
 }
 
 // routeClass ranks a route by the relationship it was learned over:

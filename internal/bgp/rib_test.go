@@ -84,17 +84,23 @@ func TestAdjRIBInSetGetRemove(t *testing.T) {
 	}
 }
 
-func TestAdjRIBInDestsVia(t *testing.T) {
+func TestAdjRIBInDestsViaSlot(t *testing.T) {
 	rib := ribOver([]Peer{{Node: 5}, {Node: 6}}, 40)
 	rib.set(30, 5, Path{1})
 	rib.set(10, 5, Path{1})
 	rib.set(20, 6, Path{2})
-	got := rib.destsVia(5)
+	// Callers pass a reused scratch buffer (router.affectedScratch);
+	// destsViaSlot must honor its contents and append after them.
+	scratch := make([]ASN, 0, 8)
+	got := rib.destsViaSlot(rib.slotOf[5], scratch[:0])
 	if len(got) != 2 || got[0] != 10 || got[1] != 30 {
-		t.Errorf("destsVia = %v, want [10 30] sorted", got)
+		t.Errorf("destsViaSlot = %v, want [10 30] sorted", got)
 	}
-	if len(rib.destsVia(99)) != 0 {
-		t.Error("destsVia of unknown peer non-empty")
+	if &got[0] != &scratch[:1][0] {
+		t.Error("destsViaSlot did not reuse the scratch buffer")
+	}
+	if got := rib.destsViaSlot(rib.slotOf[6], got[:0]); len(got) != 1 || got[0] != 20 {
+		t.Errorf("destsViaSlot(6) = %v, want [20]", got)
 	}
 }
 
@@ -138,12 +144,12 @@ func TestDecideShortestPathWins(t *testing.T) {
 	rib := ribOver(testPeers(), 100)
 	rib.set(99, 1, Path{10, 40, 99})
 	rib.set(99, 2, Path{20, 99})
-	e, ok := decide(rib, 99, testPeers(), nil, nil, nil, 0)
+	e, slot, ok := decide(rib, 99, testPeers(), nil, nil, nil, 0)
 	if !ok {
 		t.Fatal("no route")
 	}
-	if e.from != 2 {
-		t.Errorf("winner from %d, want 2 (shorter path)", e.from)
+	if e.from != 2 || slot != 1 {
+		t.Errorf("winner from %d slot %d, want peer 2 at slot 1 (shorter path)", e.from, slot)
 	}
 }
 
@@ -151,7 +157,7 @@ func TestDecideEBGPBeatsIBGPAtEqualLength(t *testing.T) {
 	rib := ribOver(testPeers(), 100)
 	rib.set(99, 3, Path{20, 99}) // internal peer
 	rib.set(99, 2, Path{20, 99}) // external peer, same length
-	e, ok := decide(rib, 99, testPeers(), nil, nil, nil, 0)
+	e, _, ok := decide(rib, 99, testPeers(), nil, nil, nil, 0)
 	if !ok || e.from != 2 {
 		t.Errorf("winner from %d, want external peer 2", e.from)
 	}
@@ -164,9 +170,9 @@ func TestDecideTieBreaksLowestPeerAS(t *testing.T) {
 	rib := ribOver(testPeers(), 100)
 	rib.set(99, 1, Path{10, 99})
 	rib.set(99, 2, Path{20, 99})
-	e, ok := decide(rib, 99, testPeers(), nil, nil, nil, 0)
-	if !ok || e.from != 1 {
-		t.Errorf("winner from %d, want peer 1 (AS 10 < AS 20)", e.from)
+	e, slot, ok := decide(rib, 99, testPeers(), nil, nil, nil, 0)
+	if !ok || e.from != 1 || slot != 0 {
+		t.Errorf("winner from %d slot %d, want peer 1 at slot 0 (AS 10 < AS 20)", e.from, slot)
 	}
 }
 
@@ -175,20 +181,20 @@ func TestDecideSkipsDeadPeers(t *testing.T) {
 	rib.set(99, 1, Path{10, 99})
 	rib.set(99, 2, Path{20, 30, 99})
 	alive := []bool{false, true, true}
-	e, ok := decide(rib, 99, testPeers(), alive, nil, nil, 0)
-	if !ok || e.from != 2 {
-		t.Errorf("winner from %d, want 2 (peer 1 dead)", e.from)
+	e, slot, ok := decide(rib, 99, testPeers(), alive, nil, nil, 0)
+	if !ok || e.from != 2 || slot != 1 {
+		t.Errorf("winner from %d slot %d, want 2 at slot 1 (peer 1 dead)", e.from, slot)
 	}
 }
 
 func TestDecideNoRoutes(t *testing.T) {
 	rib := ribOver(testPeers(), 100)
-	if _, ok := decide(rib, 99, testPeers(), nil, nil, nil, 0); ok {
+	if _, slot, ok := decide(rib, 99, testPeers(), nil, nil, nil, 0); ok || slot != -1 {
 		t.Error("decision on empty RIB returned a route")
 	}
 	rib.set(99, 1, Path{10, 99})
 	alive := []bool{false, false, false}
-	if _, ok := decide(rib, 99, testPeers(), alive, nil, nil, 0); ok {
+	if _, slot, ok := decide(rib, 99, testPeers(), alive, nil, nil, 0); ok || slot != -1 {
 		t.Error("decision with all peers dead returned a route")
 	}
 }

@@ -71,7 +71,31 @@ type router struct {
 
 	// damper holds RFC 2439 flap-damping state (nil when disabled).
 	damper *damper
+
+	// Incremental decision-process state. bestSlot caches, per
+	// destination, the peer slot the current Loc-RIB entry was learned
+	// from (bestNone = no route, bestSelf = locally originated); it is
+	// maintained on every Loc-RIB mutation, which upholds the invariant
+	// the fast path relies on: with damping disabled, the Loc-RIB always
+	// equals decide(Adj-RIB-In), so bestSlot is exactly the slot a full
+	// scan would pick. workSlot is the within-batch working copy (lazily
+	// initialized from bestSlot on a destination's first touch, tracked
+	// by the touched bitset), advanced by classify as the batch applies;
+	// scanNeeded flags destinations whose outcome cannot be resolved
+	// without the full decide scan. incremental is false under damping
+	// (suppression decays with wall-clock time, invalidating the cache)
+	// and under Params.ForceFullScan.
+	incremental bool
+	bestSlot    []int32
+	workSlot    []int32
+	scanNeeded  bitset
 }
+
+// bestSlot sentinel values (real peer slots are >= 0).
+const (
+	bestNone int32 = -1 // no Loc-RIB entry for the destination
+	bestSelf int32 = -2 // locally originated route: never displaced
+)
 
 // newRouter builds the topology-dependent skeleton of a router (peer
 // slots, scratch tasks, empty RIB shells). All parameter- and
@@ -124,6 +148,12 @@ func (r *router) reset(p Params, ndests int) {
 		}
 		r.flapCount = make([]int32, ndests)
 		r.touched = newBitset(ndests)
+		r.bestSlot = make([]int32, ndests)
+		for i := range r.bestSlot {
+			r.bestSlot[i] = bestNone
+		}
+		r.workSlot = make([]int32, ndests)
+		r.scanNeeded = newBitset(ndests)
 	} else {
 		r.adjIn.reset()
 		r.loc.reset()
@@ -138,6 +168,10 @@ func (r *router) reset(p Params, ndests int) {
 			r.flapCount[i] = 0
 		}
 		r.touched.clearAll()
+		for i := range r.bestSlot {
+			r.bestSlot[i] = bestNone
+		}
+		r.scanNeeded.clearAll()
 	}
 	for slot := range r.peers {
 		r.peerAlive[slot] = true
@@ -161,8 +195,9 @@ func (r *router) reset(p Params, ndests int) {
 	} else {
 		r.destGate = nil
 	}
-	if r.inbox == nil || r.inboxQueue != p.Queue || r.inboxDiscard != p.BatchDiscardStale {
-		r.inbox = newInbox(p)
+	if r.inbox == nil || r.inboxQueue != p.Queue || r.inboxDiscard != p.BatchDiscardStale ||
+		(p.Queue == QueueBatched && len(r.inbox.(*batchInbox).byDest) != ndests) {
+		r.inbox = newInbox(p, ndests)
 	} else {
 		r.inbox.Reset()
 	}
@@ -173,6 +208,7 @@ func (r *router) reset(p Params, ndests int) {
 	} else {
 		r.damper = nil
 	}
+	r.incremental = r.damper == nil && !p.ForceFullScan
 	r.busyAccum, r.lastSnapBusy = 0, 0
 	r.busyStart, r.lastSnapTime = 0, 0
 	r.msgsSinceSnap = 0
@@ -185,6 +221,7 @@ func (r *router) reset(p Params, ndests int) {
 func (r *router) originate(dest ASN) {
 	r.originates.set(dest)
 	r.loc.set(dest, selfRoute())
+	r.bestSlot[dest] = bestSelf
 	r.markPendingAll(dest)
 	r.flushAll()
 }
@@ -301,11 +338,20 @@ func (r *router) finishProcessing(batch []Update) {
 	})
 
 	touched := r.touched
+	incr := r.incremental
 	for _, u := range batch {
 		// Drop updates from peers that died while the message was queued.
 		slot, ok := r.slotOf[u.From]
 		if !ok || !r.peerAlive[slot] {
 			continue
+		}
+		if incr {
+			// Classify the update against the working best before the
+			// Adj-RIB-In mutation below overwrites the previous route.
+			if !touched.has(u.Dest) {
+				r.workSlot[u.Dest] = r.bestSlot[u.Dest]
+			}
+			r.classify(slot, u)
 		}
 		// Flap accounting per RFC 2439: withdrawals and re-advertisements
 		// of an existing route are penalized; a peer's first announcement
@@ -331,7 +377,17 @@ func (r *router) finishProcessing(batch []Update) {
 	anyChanged := false
 	for _, dest := range changed {
 		touched.clear(dest)
-		if r.runDecision(dest) {
+		var routeChanged bool
+		switch {
+		case !incr:
+			routeChanged = r.runDecision(dest)
+		case r.scanNeeded.has(dest):
+			r.scanNeeded.clear(dest)
+			routeChanged = r.runDecision(dest)
+		default:
+			routeChanged = r.applyWorkingBest(dest)
+		}
+		if routeChanged {
 			r.markPendingAll(dest)
 			anyChanged = true
 		}
@@ -345,23 +401,127 @@ func (r *router) finishProcessing(batch []Update) {
 	}
 }
 
-// runDecision recomputes the best route for dest. It returns true when
-// the Loc-RIB entry changed in any way that affects advertisements.
+// runDecision recomputes the best route for dest with the full peer-slot
+// scan. It returns true when the Loc-RIB entry changed in any way that
+// affects advertisements.
 func (r *router) runDecision(dest ASN) bool {
 	old, hadOld := r.loc.get(dest)
 	if hadOld && old.isSelf() {
 		return false // locally originated routes are never displaced
 	}
-	best, ok := decide(r.adjIn, dest, r.peers, r.peerAlive, r.damper, r.sim.params.Policy, r.id)
+	best, slot, ok := decide(r.adjIn, dest, r.peers, r.peerAlive, r.damper, r.sim.params.Policy, r.id)
+	return r.commitDecision(dest, old, hadOld, best, slot, ok)
+}
+
+// classify folds one arriving update into the batch's working-best
+// bookkeeping, before the Adj-RIB-In mutation for the update is applied.
+// The per-destination batch outcomes:
+//
+//	(a) an update strictly better than the working best becomes the
+//	    working best without a scan;
+//	(b) an update to a non-best slot that does not beat the working best
+//	    is a no-op for the decision process;
+//	(c) only a withdrawal — or a strict worsening — of the working
+//	    best's own slot forces the full decide scan (scanNeeded).
+//
+// The (a)/(b) split is sound because betterRoute is a strict total order
+// across slots (ties break on peer AS then node ID): a replacement on a
+// non-best slot that merely equals the working best still loses to it,
+// and an equal-rank re-announcement on the best slot itself keeps
+// winning. Only called in incremental mode, where damping is off — so
+// no candidate is ever suppressed and the Loc-RIB invariant (bestSlot ==
+// full-scan winner) holds between batches.
+func (r *router) classify(slot int, u Update) {
+	dest := u.Dest
+	if r.scanNeeded.has(dest) {
+		return // already falling back to the full scan for this dest
+	}
+	ws := r.workSlot[dest]
+	if ws == bestSelf {
+		return // locally originated: the decision is always a no-op
+	}
+	if u.IsWithdrawal() || pathContains(u.Path, r.as) {
+		if ws >= 0 && int(ws) == slot {
+			r.scanNeeded.set(dest) // (c) the working best's route went away
+		}
+		return // (b) removing a never-best route cannot change the winner
+	}
+	peer := r.peers[slot]
+	cand := locEntry{path: u.Path, from: peer.Node, fromInternal: peer.Internal}
+	class := routeClass(r.sim.params.Policy, r.id, peer)
+	if ws < 0 {
+		r.workSlot[dest] = int32(slot) // first candidate for an empty table
+		return
+	}
+	wpath, ok := r.adjIn.getSlot(int(ws), dest)
+	if !ok {
+		r.scanNeeded.set(dest) // defensive: cache out of sync, rescan
+		return
+	}
+	if int(ws) == slot {
+		// Re-announcement on the winning slot itself: same peer, so only
+		// the path ranking can move. A strictly worse replacement forces
+		// the scan; otherwise the slot keeps winning.
+		prev := locEntry{path: wpath, from: peer.Node, fromInternal: peer.Internal}
+		if betterRoute(prev, peer, class, cand, peer, class) {
+			r.scanNeeded.set(dest) // (c) the working best's route worsened
+		}
+		return
+	}
+	wpeer := r.peers[ws]
+	wentry := locEntry{path: wpath, from: wpeer.Node, fromInternal: wpeer.Internal}
+	wclass := routeClass(r.sim.params.Policy, r.id, wpeer)
+	if betterRoute(cand, peer, class, wentry, wpeer, wclass) {
+		r.workSlot[dest] = int32(slot) // (a) strictly better: new working best
+	}
+	// else (b): does not beat the working best — no-op.
+}
+
+// applyWorkingBest resolves a touched destination's decision without
+// scanning the peer slots: when no scan was flagged, classify has
+// maintained workSlot as exactly the slot a full decide scan over the
+// final Adj-RIB-In would pick, so the winner is read back directly. The
+// Loc-RIB commit (and all its observable side effects) is shared with
+// runDecision, so the two paths cannot drift.
+func (r *router) applyWorkingBest(dest ASN) bool {
+	old, hadOld := r.loc.get(dest)
+	if hadOld && old.isSelf() {
+		return false // locally originated routes are never displaced
+	}
+	ws := r.workSlot[dest]
+	if ws < 0 {
+		// Only removals of never-best routes touched dest: the table had
+		// no winner before and has none now (a Loc-RIB entry would have
+		// initialized ws to its slot).
+		return false
+	}
+	path, ok := r.adjIn.getSlot(int(ws), dest)
+	if !ok {
+		return r.runDecision(dest) // defensive: cache out of sync, rescan
+	}
+	peer := r.peers[ws]
+	best := locEntry{path: path, from: peer.Node, fromInternal: peer.Internal}
+	return r.commitDecision(dest, old, hadOld, best, int(ws), true)
+}
+
+// commitDecision installs a decision-process outcome (winner best from
+// slot, or no route when !ok) against the previous Loc-RIB entry and
+// performs the observable bookkeeping: flap counting, the collector's
+// route-change note, and the trace event. Both the full-scan and the
+// incremental paths terminate here, which is what keeps their side
+// effects provably identical.
+func (r *router) commitDecision(dest ASN, old locEntry, hadOld bool, best locEntry, slot int, ok bool) bool {
 	switch {
 	case !ok && !hadOld:
 		return false
 	case !ok:
 		r.loc.del(dest)
+		r.bestSlot[dest] = bestNone
 	case hadOld && best.sameAs(old):
-		return false
+		return false // bestSlot already points at slot (same winner)
 	default:
 		r.loc.set(dest, best)
+		r.bestSlot[dest] = int32(slot)
 	}
 	pathChanged := !hadOld || !ok || !pathsEqual(old.path, best.path)
 	if pathChanged {
@@ -436,7 +596,11 @@ func (r *router) tryFlush(slot int) {
 	adv := &r.advertised[slot]
 	for _, dest := range dests {
 		desired := r.desiredAdvert(dest, slot)
-		last, hadLast := adv.get(dest)
+		// The advertised table only ever records non-nil announcement
+		// paths (withdrawals delete the entry), so presence collapses to a
+		// nil check — no bitset probe on this very hot load.
+		last := adv.paths[dest]
+		hadLast := last != nil
 		if pathsEqual(desired, last) && (desired != nil || !hadLast) {
 			pend.clear(dest)
 			continue
@@ -594,15 +758,20 @@ func (r *router) desiredAdvert(dest ASN, slot int) Path {
 		// Defensive: external peers always have a different AS.
 		return nil
 	}
-	if pathContains(e.path, peer.AS) {
+	if !e.maskOK {
+		// Computed once per entry, like the export cache below.
+		e.asMask = pathASMask(e.path)
+		e.maskOK = true
+	}
+	if e.asMask&(1<<(uint(peer.AS)&63)) != 0 && pathContains(e.path, peer.AS) {
 		return nil
 	}
 	if e.export == nil {
 		// First external advertisement of this entry: compute the prepended
-		// path once and cache it in place on the Loc-RIB entry so every
-		// other peer (and every later flush retry) shares the same
-		// immutable slice.
-		e.export = prependPath(r.as, e.path)
+		// path once — in arena storage, freed wholesale at Reset — and
+		// cache it in place on the Loc-RIB entry so every other peer (and
+		// every later flush retry) shares the same immutable slice.
+		e.export = r.sim.paths.prepend(r.as, e.path)
 	}
 	return e.export
 }
@@ -627,11 +796,14 @@ func (r *router) revive() {
 	r.adjIn.reset()
 	r.loc.reset()
 	r.originates.clearAll()
-	r.inbox = newInbox(r.sim.params)
+	r.inbox = newInbox(r.sim.params, len(r.bestSlot))
 	r.inboxQueue, r.inboxDiscard = r.sim.params.Queue, r.sim.params.BatchDiscardStale
 	r.policy = r.sim.params.MRAI(len(r.peers))
 	for i := range r.flapCount {
 		r.flapCount[i] = 0
+	}
+	for i := range r.bestSlot {
+		r.bestSlot[i] = bestNone
 	}
 	if r.sim.params.Damping != nil {
 		r.damper = newDamper(r.sim.params.Damping)
@@ -694,6 +866,15 @@ func (r *router) peerDown(slot int) {
 	anyChanged := false
 	for _, dest := range affected {
 		r.adjIn.removeSlot(slot, dest)
+		if r.incremental && r.bestSlot[dest] != int32(slot) {
+			// Losing a route that was not the winner cannot change the
+			// decision: the full scan would re-pick the cached winner and
+			// return unchanged (the dead slot is already skipped via
+			// peerAlive). Skipping it here is what makes session loss
+			// O(routes via the dead peer that were actually best) instead
+			// of O(affected destinations × degree).
+			continue
+		}
 		if r.runDecision(dest) {
 			r.markPendingAll(dest)
 			anyChanged = true

@@ -51,6 +51,10 @@ type Simulator struct {
 	// transmission allocates nothing. The list only ever grows to the peak
 	// number of simultaneously in-flight updates.
 	freeDeliveries *delivery
+
+	// paths allocates export-path slices; rewound by Reset once every
+	// reference (RIBs, in-flight updates) is gone.
+	paths pathArena
 }
 
 // delivery is the pooled des.Runner carrying one in-flight update from
@@ -160,6 +164,9 @@ func (s *Simulator) Reset(params Params) error {
 	s.rng = des.NewRNG(params.Seed)
 	s.eng.Reset()
 	s.col.Reset()
+	// Safe exactly here: the engine drain above discarded in-flight
+	// updates and the router resets below clear every RIB reference.
+	s.paths.rewind()
 
 	maxAS := 0
 	for id := 0; id < s.net.NumNodes(); id++ {

@@ -49,6 +49,12 @@ func pathsEqual(a, b Path) bool {
 	if len(a) != len(b) {
 		return false
 	}
+	if len(a) > 0 && &a[0] == &b[0] {
+		// Same backing array: paths are immutable once created, so the
+		// shared export-cache slice a router re-advertises compares equal
+		// without an element walk.
+		return true
+	}
 	for i := range a {
 		if a[i] != b[i] {
 			return false

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"testing"
+
+	"bgpsim/internal/bgp"
+)
+
+// TestFigureBytesUnchangedByFullScan pins the figure pipeline to the
+// incremental-decision equivalence: rendering the same experiments with
+// bgp.ForceFullScanDefault toggled must produce byte-identical output.
+// This is the in-tree twin of the CI determinism job, which regenerates
+// paper-scale fig3 in both modes and diffs against results/. Beyond
+// fig3, the two ablations cover the configurations where "better route"
+// means something different: Gao–Rexford policy ranking and damping
+// (under which the incremental path disables itself entirely).
+func TestFigureBytesUnchangedByFullScan(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dual figure sweep skipped in -short")
+	}
+	for _, id := range []string{"3", "ablation-policy", "ablation-damping"} {
+		e, err := Lookup(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(id, func(t *testing.T) {
+			render := func(fullScan bool) string {
+				bgp.ForceFullScanDefault = fullScan
+				defer func() { bgp.ForceFullScanDefault = false }()
+				fig, err := e.Run(microOptions())
+				if err != nil {
+					t.Fatal(err)
+				}
+				return fig.Render()
+			}
+			inc, full := render(false), render(true)
+			if inc != full {
+				t.Errorf("%s: incremental render diverged from full scan\nfull:\n%s\nincremental:\n%s",
+					id, full, inc)
+			}
+		})
+	}
+}

@@ -1,0 +1,184 @@
+package des
+
+import (
+	"testing"
+	"time"
+)
+
+// These tests pin the calendar queue's one obligation: pop order — and
+// therefore simulation output — is byte-identical to the pure 4-ary
+// heap's for every scheduling pattern, including ties at one instant,
+// events beyond the ring horizon (overflow + migration), cancellations,
+// deadline-bounded runs, and engine reuse through Reset.
+
+// fireOrder drives both engine flavours through the same schedule built
+// by plan (which schedules events that append their tag to the shared
+// log) and returns the two observed dispatch orders.
+func fireOrder(t *testing.T, plan func(e *Engine, log *[]int)) (calendar, heap []int) {
+	t.Helper()
+	run := func(e *Engine) []int {
+		var log []int
+		plan(e, &log)
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return log
+	}
+	return run(NewEngine()), run(NewHeapOnlyEngine())
+}
+
+func tag(log *[]int, id int) Handler {
+	return func() { *log = append(*log, id) }
+}
+
+func diffOrders(t *testing.T, name string, cal, heap []int) {
+	t.Helper()
+	if len(cal) != len(heap) {
+		t.Fatalf("%s: calendar fired %d events, heap %d", name, len(cal), len(heap))
+	}
+	for i := range cal {
+		if cal[i] != heap[i] {
+			t.Fatalf("%s: dispatch order diverges at %d: calendar %d, heap %d",
+				name, i, cal[i], heap[i])
+		}
+	}
+}
+
+// TestCalendarMatchesHeapRandom fuzzes mixed short/long horizons: delays
+// from sub-bucket to far past the ring span, with duplicate timestamps
+// so the seq tie-break is exercised on both container types.
+func TestCalendarMatchesHeapRandom(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := NewRNG(seed)
+		delays := make([]Time, 3000)
+		for i := range delays {
+			switch rng.Intn(4) {
+			case 0: // same-bucket ties
+				delays[i] = Time(rng.Intn(3)) * time.Millisecond
+			case 1: // MRAI-like clustering
+				delays[i] = Time(500+rng.Intn(1750)) * time.Millisecond
+			case 2: // inside the ring horizon
+				delays[i] = Time(rng.Intn(4_000_000_000))
+			default: // far beyond the horizon: overflow + migration
+				delays[i] = Time(rng.Intn(60)) * time.Second
+			}
+		}
+		cal, heap := fireOrder(t, func(e *Engine, log *[]int) {
+			for i, d := range delays {
+				e.Schedule(d, tag(log, i))
+			}
+		})
+		diffOrders(t, "random", cal, heap)
+		if len(cal) != len(delays) {
+			t.Fatalf("seed %d: fired %d of %d events", seed, len(cal), len(delays))
+		}
+	}
+}
+
+// TestCalendarMatchesHeapNested pins the simulator's dominant pattern —
+// handlers scheduling more events — where pushes interleave with pops
+// and the clock (and ring anchor) advances between them.
+func TestCalendarMatchesHeapNested(t *testing.T) {
+	cal, heap := fireOrder(t, func(e *Engine, log *[]int) {
+		rng := NewRNG(42)
+		n := 0
+		var step func() // reschedules itself with a varying horizon
+		step = func() {
+			*log = append(*log, n)
+			n++
+			if n < 2000 {
+				e.Schedule(Time(rng.Intn(5_000_000_000)), step)
+			}
+		}
+		e.Schedule(0, step)
+	})
+	diffOrders(t, "nested", cal, heap)
+}
+
+// TestCalendarMatchesHeapCancel pins that lazily drained cancellations
+// do not perturb the order of surviving events.
+func TestCalendarMatchesHeapCancel(t *testing.T) {
+	cal, heap := fireOrder(t, func(e *Engine, log *[]int) {
+		rng := NewRNG(9)
+		evs := make([]*Event, 1000)
+		for i := range evs {
+			evs[i] = e.Schedule(Time(rng.Intn(10_000_000_000)), tag(log, i))
+		}
+		for i := 0; i < len(evs); i += 3 {
+			e.Cancel(evs[i])
+		}
+	})
+	diffOrders(t, "cancel", cal, heap)
+}
+
+// TestCalendarScheduleBehindAnchor exercises the bucket-clamping path:
+// RunUntil stops the clock at a deadline while the queue minimum (and so
+// the ring anchor, once peeked) sits far ahead; a subsequent schedule
+// lands logically "before" the anchor bucket and must still fire first.
+func TestCalendarScheduleBehindAnchor(t *testing.T) {
+	e := NewEngine()
+	var log []int
+	e.ScheduleAt(10*time.Second, tag(&log, 1))
+	if err := e.RunUntil(1 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(log) != 0 {
+		t.Fatal("event fired before its time")
+	}
+	// 1.5s is an earlier bucket than the 10s event the ring is anchored
+	// on; clamping must not reorder the two.
+	e.ScheduleAt(1500*time.Millisecond, tag(&log, 2))
+	e.ScheduleAt(1500*time.Millisecond, tag(&log, 3)) // seq tie-break within clamped bucket
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{2, 3, 1}
+	if len(log) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(log), len(want))
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("fire order %v, want %v", log, want)
+		}
+	}
+}
+
+// TestCalendarEngineReset pins that a Reset engine re-anchors the ring
+// at the epoch: a reused engine must accept and correctly order
+// schedules near time zero after a previous run pushed the anchor out.
+func TestCalendarEngineReset(t *testing.T) {
+	e := NewEngine()
+	done := 0
+	e.ScheduleAt(30*time.Second, func() { done++ })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	e.Reset()
+	var log []int
+	e.ScheduleAt(2*time.Millisecond, tag(&log, 1))
+	e.ScheduleAt(1*time.Millisecond, tag(&log, 2))
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done != 1 || len(log) != 2 || log[0] != 2 || log[1] != 1 {
+		t.Fatalf("post-Reset order %v (done=%d), want [2 1]", log, done)
+	}
+}
+
+// TestHeapOnlyEngineDispatchAllocationFree extends the allocation pin to
+// the heap-only flavour, which the calendar benchmarks compare against.
+func TestHeapOnlyEngineDispatchAllocationFree(t *testing.T) {
+	e := NewHeapOnlyEngine()
+	task := &countRunner{}
+	e.ScheduleRunner(time.Millisecond, task)
+	e.Step()
+	avg := testing.AllocsPerRun(1000, func() {
+		e.ScheduleRunner(time.Millisecond, task)
+		if !e.Step() {
+			t.Fatal("no event fired")
+		}
+	})
+	if avg != 0 {
+		t.Errorf("heap-only schedule+dispatch allocates %.2f objects/op, want 0", avg)
+	}
+}

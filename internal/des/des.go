@@ -7,12 +7,12 @@
 // so ties between events scheduled for the same instant are broken by
 // insertion order, never by map iteration or heap instability.
 //
-// The event queue is a 4-ary min-heap, but that is invisible to callers:
-// (timestamp, insertion sequence) is a strict total order over queued
-// events, so the pop sequence — and therefore all simulation output — is
-// independent of heap arity or internal layout. Any replacement queue
-// must preserve exactly this tie-break: timestamp first, then insertion
-// order.
+// The event queue is a calendar (bucket) queue backed by 4-ary min-heaps
+// (see calendar.go), but that is invisible to callers: (timestamp,
+// insertion sequence) is a strict total order over queued events, so the
+// pop sequence — and therefore all simulation output — is independent of
+// the queue's internal layout. Any replacement queue must preserve
+// exactly this tie-break: timestamp first, then insertion order.
 package des
 
 import (
@@ -82,7 +82,7 @@ func (e *Event) Canceled() bool { return e.stopped }
 type Engine struct {
 	now       Time
 	seq       uint64
-	queue     eventHeap
+	queue     calendarQueue
 	free      []*Event // recycled Event objects (see Event)
 	processed uint64
 	maxEvents uint64
@@ -99,9 +99,24 @@ const cancelStride = 1024
 // loops in model code. It is far above anything the BGP experiments need.
 const DefaultMaxEvents = 200_000_000
 
-// NewEngine returns an engine with the clock at the epoch.
+// NewEngine returns an engine with the clock at the epoch. The event
+// queue is a calendar queue (see calendar.go); pop order is provably
+// identical to NewHeapOnlyEngine's pure heap.
 func NewEngine() *Engine {
-	return &Engine{maxEvents: DefaultMaxEvents}
+	e := &Engine{maxEvents: DefaultMaxEvents}
+	e.queue.init(false)
+	return e
+}
+
+// NewHeapOnlyEngine returns an engine whose event queue is the plain
+// 4-ary heap, with the calendar ring disabled. Simulation output is
+// byte-identical to NewEngine — (at, seq) is a strict total order either
+// way — so this exists purely as the comparison baseline for the
+// calendar queue's differential tests and benchmarks.
+func NewHeapOnlyEngine() *Engine {
+	e := &Engine{maxEvents: DefaultMaxEvents}
+	e.queue.init(true)
+	return e
 }
 
 // SetMaxEvents overrides the runaway-loop guard. A value of zero restores
@@ -136,6 +151,7 @@ func (e *Engine) Reset() {
 		ev.fn, ev.runner = nil, nil
 		e.recycle(ev)
 	}
+	e.queue.rewind()
 	e.now = 0
 	e.seq = 0
 	e.processed = 0
