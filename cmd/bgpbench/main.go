@@ -79,6 +79,7 @@ func run(args []string, out *os.File) error {
 		checkPath = fs.String("check", "", "compare allocs/op against this baseline JSON and fail on regression")
 		tolerance = fs.Float64("tolerance", 1.10, "with -check: allowed allocs/op ratio over baseline")
 		fullScan  = fs.Bool("fullscan", false, "disable the incremental decision process (pre-PR-5 baseline mode)")
+		prefixes  = fs.Int("prefixes", 0, "override ConvergeMultiPrefix's prefixes-per-AS dimension (0 = suite default)")
 	)
 	var prof profiling.Config
 	prof.AddFlags(fs)
@@ -86,6 +87,9 @@ func run(args []string, out *os.File) error {
 		return err
 	}
 	bgp.ForceFullScanDefault = *fullScan
+	if *prefixes > 0 {
+		bench.MultiPrefixCount = *prefixes
+	}
 
 	if *list {
 		for _, e := range bench.Suite() {
@@ -158,10 +162,15 @@ func writeJSON(path string, doc File) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-// check compares allocs/op in doc against the baseline file and returns
-// an error when any shared benchmark regressed beyond the tolerance.
-// Benchmarks present on only one side are reported but not fatal, so
-// adding or retiring a benchmark does not break the gate.
+// check compares allocs/op and bytes/op in doc against the baseline
+// file and returns an error when any shared benchmark regressed beyond
+// the tolerance. Both metrics count heap allocation, which is stable
+// across machines (unlike ns/op); bytes/op is what catches a footprint
+// regression that keeps the allocation count flat — e.g. widening a
+// per-destination array — which matters once the prefix dimension
+// multiplies every table. Benchmarks present on only one side are
+// reported but not fatal, so adding or retiring a benchmark does not
+// break the gate.
 func check(out *os.File, doc File, baselinePath string, tolerance float64) error {
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {
@@ -175,6 +184,10 @@ func check(out *os.File, doc File, baselinePath string, tolerance float64) error
 	for _, r := range base.Results {
 		baseline[r.Name] = r
 	}
+	// Entries allocating under this many bytes per op are exempt from
+	// the bytes gate: at that size a single map-growth event crosses any
+	// ratio threshold, and the allocs gate already covers them.
+	const bytesFloor = 4096
 	var regressions []string
 	for _, r := range doc.Results {
 		b, ok := baseline[r.Name]
@@ -182,12 +195,20 @@ func check(out *os.File, doc File, baselinePath string, tolerance float64) error
 			fmt.Fprintf(out, "check: %s has no baseline (new benchmark?), skipping\n", r.Name)
 			continue
 		}
-		limit := float64(b.AllocsPerOp) * tolerance
-		if float64(r.AllocsPerOp) > limit {
+		ok = true
+		if float64(r.AllocsPerOp) > float64(b.AllocsPerOp)*tolerance {
+			ok = false
 			regressions = append(regressions, fmt.Sprintf(
 				"%s: allocs/op %d > baseline %d x %.2f", r.Name, r.AllocsPerOp, b.AllocsPerOp, tolerance))
-		} else {
-			fmt.Fprintf(out, "check: %s ok (%d allocs/op, baseline %d)\n", r.Name, r.AllocsPerOp, b.AllocsPerOp)
+		}
+		if b.BytesPerOp >= bytesFloor && float64(r.BytesPerOp) > float64(b.BytesPerOp)*tolerance {
+			ok = false
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: bytes/op %d > baseline %d x %.2f", r.Name, r.BytesPerOp, b.BytesPerOp, tolerance))
+		}
+		if ok {
+			fmt.Fprintf(out, "check: %s ok (%d allocs/op, %d B/op; baseline %d, %d)\n",
+				r.Name, r.AllocsPerOp, r.BytesPerOp, b.AllocsPerOp, b.BytesPerOp)
 		}
 	}
 	if len(regressions) > 0 {

@@ -59,6 +59,7 @@ func run(args []string) error {
 		trials   = fs.Int("trials", 0, "override trials per data point")
 		seed     = fs.Int64("seed", 0, "override base seed")
 		maxAS    = fs.Int("max-as-size", 0, "override fig13's routers-per-AS cap (paper: 100)")
+		prefixes = fs.Int("prefixes", 0, "prefixes originated per AS (0 or 1 = the paper's single prefix; 1 must reproduce recorded figures byte-identically)")
 		workers  = fs.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS, 1 = serial; same bytes either way)")
 		outDir   = fs.String("o", "", "also write each figure to <dir>/<id>.txt")
 		asJSON   = fs.Bool("json", false, "with -o: additionally write <id>.json for plotting tools")
@@ -117,6 +118,9 @@ func run(args []string) error {
 	}
 	if *maxAS > 0 {
 		opts.RealisticMaxASSize = *maxAS
+	}
+	if *prefixes > 0 {
+		opts.PrefixesPerOrigin = *prefixes
 	}
 	opts.Workers = *workers
 

@@ -60,13 +60,10 @@ func run(args []string, out *os.File) error {
 	if err != nil {
 		return err
 	}
-	base := bgpsim.DefaultParams()
-	base.PrefixesPerAS = *prefixes
 	sc := bgpsim.Scenario{
-		Topology:           bgpsim.TopologySpec{Kind: topology.Kind(*topoKind), N: *nodes},
+		Topology:           bgpsim.MultiPrefix(bgpsim.TopologySpec{Kind: topology.Kind(*topoKind), N: *nodes}, *prefixes),
 		Failure:            bgpsim.GeographicFailure(*failPct / 100),
 		Scheme:             sch,
-		Base:               &base,
 		PolicyHierarchical: *policy,
 		Seed:               *seed,
 	}

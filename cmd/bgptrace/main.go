@@ -37,6 +37,7 @@ func run(args []string) error {
 		failPct  = fs.Float64("fail", 10, "failure size, percent of routers")
 		scheme   = fs.String("scheme", "mrai=0.5", "scheme (same syntax as cmd/bgpsim)")
 		seed     = fs.Int64("seed", 1, "seed")
+		prefixes = fs.Int("prefixes", 1, "prefixes originated per AS")
 		bucket   = fs.Duration("bucket", time.Second, "activity time-series bucket")
 		events   = fs.Bool("events", false, "dump the raw event log")
 		kindName = fs.String("kind", "", "with -events: only this kind (send, recv, proc, route, timer)")
@@ -59,7 +60,7 @@ func run(args []string) error {
 	base := bgpsim.DefaultParams()
 	base.Tracer = rec
 	result, err := bgpsim.Run(bgpsim.Scenario{
-		Topology: bgpsim.TopologySpec{Kind: topology.Kind(*topoKind), N: *nodes},
+		Topology: bgpsim.MultiPrefix(bgpsim.TopologySpec{Kind: topology.Kind(*topoKind), N: *nodes}, *prefixes),
 		Failure:  bgpsim.GeographicFailure(*failPct / 100),
 		Scheme:   sch,
 		Base:     &base,

@@ -104,6 +104,7 @@ func Suite() []Entry {
 			// worlds and the entry measures the simulation, not generation.
 			scenarioSeedCycle(b, bgpsim.LargeScale500(), 4)
 		}},
+		{"ConvergeMultiPrefix", convergeMultiPrefix},
 		{"ConvergeAndFailFIFOReset", convergeAndFailReset},
 		{"TopologyCacheHit", topologyCacheHit},
 		{"TopologyCacheMiss", topologyCacheMiss},
@@ -180,6 +181,28 @@ func scenarioSeedCycle(b *testing.B, sc bgpsim.Scenario, worlds int) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// MultiPrefixCount is the prefix dimension of the ConvergeMultiPrefix
+// entry (cmd/bgpbench -prefixes overrides it). The default keeps the
+// entry at benchmark-friendly wall clock while the destination table —
+// 60 ASes × 50 prefixes = 3000 dense dests — is large enough that the
+// entry's bytes/op tracks the compact route encoding: interned path
+// refs shared across all 50 prefixes of an origin, and per-peer columns
+// materialized only for peers that advertise. The full-scale twin
+// (bgpsim.LargeScaleMultiPrefix, 500 ASes × 1000 prefixes) runs behind
+// the BGPSIM_LARGE test gate, not here.
+var MultiPrefixCount = 50
+
+// convergeMultiPrefix is the PR-6 table-scale entry: the same
+// converge-fail-reconverge shape as the Scenario entries with every AS
+// originating MultiPrefixCount prefixes.
+func convergeMultiPrefix(b *testing.B) {
+	scenarioSeedCycle(b, bgpsim.Scenario{
+		Topology: bgpsim.MultiPrefix(bgpsim.Skewed7030(60), MultiPrefixCount),
+		Failure:  bgpsim.GeographicFailure(0.10),
+		Scheme:   bgpsim.BatchedDynamic(),
+	}, 4)
 }
 
 // convergeAndFailReset is the pooled twin of ConvergeAndFailFIFO: one

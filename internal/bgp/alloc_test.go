@@ -36,7 +36,7 @@ func TestFIFOInboxPushPopAllocationFree(t *testing.T) {
 // stays allocation-free on average (the order slice reallocates only
 // amortized, which the integer-valued AllocsPerRun average absorbs).
 func TestBatchInboxSteadyStateAllocationLean(t *testing.T) {
-	q := &batchInbox{byDest: make([][]Update, 4096), discardStale: true}
+	q := &batchInbox{byDest: make([]int32, 4096), discardStale: true}
 	// Warm: seed the per-destination lists and the free list.
 	for dest := 0; dest < 4; dest++ {
 		q.Push(ann(1, dest, 1))

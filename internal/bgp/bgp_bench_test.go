@@ -110,7 +110,7 @@ func BenchmarkInboxFIFO(b *testing.B) {
 }
 
 func BenchmarkInboxBatched(b *testing.B) {
-	q := &batchInbox{byDest: make([][]Update, 4096), discardStale: true}
+	q := &batchInbox{byDest: make([]int32, 4096), discardStale: true}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		// Three updates for one destination, two from the same neighbor:

@@ -84,7 +84,7 @@ func TestPenalizeSuppressesAfterRepeatedFlaps(t *testing.T) {
 	if r1.damper.isSuppressed(9, 0) {
 		t.Error("suppression never lifted")
 	}
-	if e, ok := r1.loc.get(9); !ok || e.from != 0 {
+	if e, ok := r1.locEntryAt(9); !ok || e.from != 0 {
 		t.Errorf("route not reinstated after reuse: %+v ok=%v", e, ok)
 	}
 }

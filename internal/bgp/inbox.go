@@ -36,7 +36,7 @@ func newInbox(p Params, ndests int) Inbox {
 	switch p.Queue {
 	case QueueBatched:
 		return &batchInbox{
-			byDest:       make([][]Update, ndests),
+			byDest:       make([]int32, ndests),
 			discardStale: p.BatchDiscardStale,
 		}
 	case QueueRouterBatch:
@@ -115,10 +115,18 @@ type batchInbox struct {
 	order     []ASN // destinations with pending updates, FIFO by first arrival
 	orderHead int   // consumed prefix of order; reset when it drains
 	// byDest is dense by destination index (destinations are small dense
-	// integers, like every other per-dest table): a non-empty slice holds
-	// the pending batch, nil means none. Replaces a map whose hashing and
-	// bucket churn dominated the inbox at 500-AS scale.
-	byDest       [][]Update
+	// integers, like every other per-dest table), but holds 4-byte slot
+	// handles rather than slice headers: entry d is 1+i when lists[i] is
+	// the pending batch for destination d, 0 when none is pending. The
+	// dense array replaced a map whose hashing and bucket churn dominated
+	// the inbox at 500-AS scale; the handle indirection exists because at
+	// multi-prefix scale the table has hundreds of thousands of entries
+	// per router, and a 24-byte slice header per destination would be the
+	// largest structural cost in the whole simulator. Slice headers are
+	// paid only for destinations with traffic in flight.
+	byDest       []int32
+	lists        [][]Update // slot-indexed pending batches; nil = slot free
+	freeSlots    []int32    // unused lists slots (1-based, like byDest)
 	free         [][]Update // recycled batch backing arrays
 	size         int
 	discarded    int
@@ -130,14 +138,26 @@ var _ Inbox = (*batchInbox)(nil)
 // Push files the update under its destination, applying staleness
 // elimination when enabled.
 func (q *batchInbox) Push(u Update) {
-	list := q.byDest[u.Dest]
-	if len(list) == 0 {
+	slot := q.byDest[u.Dest]
+	var list []Update
+	if slot == 0 {
 		q.order = append(q.order, u.Dest)
-		if n := len(q.free); list == nil && n > 0 {
+		if n := len(q.free); n > 0 {
 			list = q.free[n-1]
 			q.free[n-1] = nil
 			q.free = q.free[:n-1]
 		}
+		if n := len(q.freeSlots); n > 0 {
+			slot = q.freeSlots[n-1]
+			q.freeSlots = q.freeSlots[:n-1]
+			q.lists[slot-1] = list
+		} else {
+			q.lists = append(q.lists, list)
+			slot = int32(len(q.lists))
+		}
+		q.byDest[u.Dest] = slot
+	} else {
+		list = q.lists[slot-1]
 	}
 	if q.discardStale {
 		for i := range list {
@@ -145,13 +165,12 @@ func (q *batchInbox) Push(u Update) {
 				// Replace in place: the new update supersedes the old one
 				// and inherits its batch position.
 				list[i] = u
-				q.byDest[u.Dest] = list
 				q.discarded++
 				return
 			}
 		}
 	}
-	q.byDest[u.Dest] = append(list, u)
+	q.lists[slot-1] = append(list, u)
 	q.size++
 }
 
@@ -167,11 +186,17 @@ func (q *batchInbox) Pop() []Update {
 			q.order = q.order[:0]
 			q.orderHead = 0
 		}
-		list := q.byDest[dest]
+		slot := q.byDest[dest]
+		if slot == 0 {
+			continue
+		}
+		list := q.lists[slot-1]
+		q.lists[slot-1] = nil
+		q.freeSlots = append(q.freeSlots, slot)
+		q.byDest[dest] = 0
 		if len(list) == 0 {
 			continue
 		}
-		q.byDest[dest] = nil
 		q.size -= len(list)
 		return list
 	}
@@ -205,13 +230,20 @@ func (q *batchInbox) Recycle(batch []Update) {
 // duplicates are harmless because the first visit nils the slot.
 func (q *batchInbox) Reset() {
 	for _, dest := range q.order {
-		if list := q.byDest[dest]; cap(list) > 0 {
-			q.free = append(q.free, list[:0])
-			q.byDest[dest] = nil
+		slot := q.byDest[dest]
+		if slot == 0 {
+			continue
 		}
+		if list := q.lists[slot-1]; cap(list) > 0 {
+			q.free = append(q.free, list[:0])
+		}
+		q.lists[slot-1] = nil
+		q.byDest[dest] = 0
 	}
 	q.order = q.order[:0]
 	q.orderHead = 0
+	q.lists = q.lists[:0]
+	q.freeSlots = q.freeSlots[:0]
 	q.size = 0
 	q.discarded = 0
 }

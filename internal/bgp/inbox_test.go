@@ -77,7 +77,7 @@ func TestFIFONeverDiscards(t *testing.T) {
 }
 
 func TestBatchGroupsByDestination(t *testing.T) {
-	q := &batchInbox{byDest: make([][]Update, 4096), discardStale: true}
+	q := &batchInbox{byDest: make([]int32, 4096), discardStale: true}
 	// The paper's example: X,Y,X,Y from distinct neighbors.
 	q.Push(ann(1, 100, 1)) // X
 	q.Push(ann(2, 200, 2)) // Y
@@ -97,7 +97,7 @@ func TestBatchGroupsByDestination(t *testing.T) {
 }
 
 func TestBatchDiscardsStaleSameNeighbor(t *testing.T) {
-	q := &batchInbox{byDest: make([][]Update, 4096), discardStale: true}
+	q := &batchInbox{byDest: make([]int32, 4096), discardStale: true}
 	q.Push(ann(1, 100, 9, 8))
 	q.Push(ann(2, 100, 5))
 	q.Push(ann(1, 100, 7)) // supersedes the first update from neighbor 1
@@ -125,7 +125,7 @@ func TestBatchDiscardsStaleSameNeighbor(t *testing.T) {
 }
 
 func TestBatchWithdrawalSupersedesAnnouncement(t *testing.T) {
-	q := &batchInbox{byDest: make([][]Update, 4096), discardStale: true}
+	q := &batchInbox{byDest: make([]int32, 4096), discardStale: true}
 	q.Push(ann(1, 100, 3))
 	q.Push(wd(1, 100))
 	batch := q.Pop()
@@ -135,7 +135,7 @@ func TestBatchWithdrawalSupersedesAnnouncement(t *testing.T) {
 }
 
 func TestBatchNoDiscardKeepsEverything(t *testing.T) {
-	q := &batchInbox{byDest: make([][]Update, 4096), discardStale: false}
+	q := &batchInbox{byDest: make([]int32, 4096), discardStale: false}
 	q.Push(ann(1, 100, 1))
 	q.Push(ann(1, 100, 2))
 	if q.Len() != 2 {
@@ -151,7 +151,7 @@ func TestBatchNoDiscardKeepsEverything(t *testing.T) {
 }
 
 func TestBatchDestinationOrderIsFirstArrival(t *testing.T) {
-	q := &batchInbox{byDest: make([][]Update, 4096), discardStale: true}
+	q := &batchInbox{byDest: make([]int32, 4096), discardStale: true}
 	q.Push(ann(1, 300, 1))
 	q.Push(ann(1, 100, 1))
 	q.Push(ann(2, 300, 2))
@@ -221,7 +221,7 @@ func TestPropertyInboxConservation(t *testing.T) {
 	f := func(ops []uint8) bool {
 		for _, mk := range []func() Inbox{
 			func() Inbox { return &fifoInbox{} },
-			func() Inbox { return &batchInbox{byDest: make([][]Update, 4096), discardStale: true} },
+			func() Inbox { return &batchInbox{byDest: make([]int32, 4096), discardStale: true} },
 			func() Inbox { return &routerBatchInbox{byPeer: make(map[NodeID][]Update)} },
 		} {
 			q := mk()

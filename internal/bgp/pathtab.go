@@ -1,0 +1,113 @@
+package bgp
+
+// routeRef is a compact handle for an interned AS path: an index+1 into
+// the Simulator's pathTab, with 0 meaning "no route". All per-destination
+// route storage (Adj-RIB-In, Loc-RIB, advertised bookkeeping) holds
+// routeRefs instead of Path slice headers, shrinking a stored route from
+// a 24-byte slice header (plus its backing array) to 4 bytes that share
+// one read-only path object — the compact representation that keeps
+// multi-prefix tables (ndests = ASes × PrefixesPerOrigin) affordable.
+type routeRef uint32
+
+// pathTab interns the paths a simulation creates. Every path is
+// registered once and referenced everywhere by its routeRef; the paths
+// themselves live in the bump-pointer arena and are immutable until
+// Simulator.Reset rewinds the table.
+//
+// The key property is derivation memoization: every announcement path
+// the simulator builds is prependPath(as, parent) for a parent path it
+// already holds, so prepend is memoized on (as, parent ref). Prefixes
+// from one origin AS carry identical AS paths through the network and
+// therefore share the exact same interned objects — path storage scales
+// with distinct paths (topology-sized), not with destinations
+// (topology × PrefixesPerOrigin).
+//
+// Like the arena it owns, the table is single-threaded under its
+// Simulator.
+type pathTab struct {
+	arena pathArena
+	paths []Path   // ref-1 indexed registered paths
+	masks []uint64 // pathASMask of each registered path
+
+	// children memoizes prepend: key (as<<32 | parent ref) -> child ref.
+	children map[uint64]routeRef
+
+	// emptyRef is the interned empty path — the Loc-RIB payload of every
+	// locally originated route. Registered first by reset, so it is the
+	// same ref every trial.
+	emptyRef routeRef
+}
+
+// emptyPath is the shared non-nil zero-length path backing emptyRef.
+var emptyPath = Path{}
+
+// reset rewinds the table for a new trial: the arena is rewound, all
+// registrations are forgotten (the backing slices and map are retained,
+// so steady-state trials re-register without allocating), and the empty
+// path is re-registered as the first ref. Only legal when no live
+// routeRefs remain — i.e. from Simulator.Reset, after the engine is
+// drained and before routers re-populate their RIBs.
+func (t *pathTab) reset() {
+	t.arena.rewind()
+	t.paths = t.paths[:0]
+	t.masks = t.masks[:0]
+	if t.children == nil {
+		t.children = make(map[uint64]routeRef)
+	} else {
+		clear(t.children)
+	}
+	t.emptyRef = t.register(emptyPath)
+}
+
+// register interns p (which must be non-nil and immutable) and returns
+// its ref.
+func (t *pathTab) register(p Path) routeRef {
+	t.paths = append(t.paths, p)
+	t.masks = append(t.masks, pathASMask(p))
+	return routeRef(len(t.paths))
+}
+
+// path returns the interned path for ref; nil for the zero ref. The
+// caller must not modify the returned slice.
+func (t *pathTab) path(ref routeRef) Path {
+	if ref == 0 {
+		return nil
+	}
+	return t.paths[ref-1]
+}
+
+// mask returns the Bloom-style AS mask of ref's path (bit as&63 set for
+// every hop). A clear bit proves an AS is not on the path, so loop and
+// export checks can skip the element scan for almost every route.
+func (t *pathTab) mask(ref routeRef) uint64 {
+	if ref == 0 {
+		return 0
+	}
+	return t.masks[ref-1]
+}
+
+// prepend returns the ref of prependPath(as, path(parent)), building and
+// registering it on first use. The memoization makes re-deriving the
+// same announcement — every prefix of an origin, every MRAI retry, every
+// peer — a map hit instead of an allocation.
+func (t *pathTab) prepend(as ASN, parent routeRef) routeRef {
+	key := uint64(uint32(as))<<32 | uint64(parent)
+	if ref, ok := t.children[key]; ok {
+		return ref
+	}
+	ref := t.register(t.arena.prepend(as, t.path(parent)))
+	t.children[key] = ref
+	return ref
+}
+
+// intern registers a path that did not originate from this table's own
+// derivations — hand-built updates in tests, external feeds. No
+// deduplication is attempted: equality checks fall back to pathsEqual
+// when refs differ, so duplicate registrations are merely unshared, never
+// incorrect.
+func (t *pathTab) intern(p Path) routeRef {
+	if p == nil {
+		return 0
+	}
+	return t.register(p)
+}

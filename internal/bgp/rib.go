@@ -4,30 +4,16 @@ import (
 	"bgpsim/internal/topology"
 )
 
-// locEntry is a Loc-RIB entry: the decision-process winner for one
-// destination. Paths are immutable once created; entries share path
-// slices with Adj-RIB-In and in-flight updates.
+// locEntry is a materialized Loc-RIB entry: the decision-process winner
+// for one destination, carried through the decide/commit flow as a stack
+// value. Storage is the packed locRIB below; entries are materialized on
+// demand (router.locEntryAt) and share interned path slices with the
+// Adj-RIB-In and in-flight updates.
 type locEntry struct {
 	path         Path
-	from         NodeID // advertising peer; -1 for a locally originated route
+	ref          routeRef // interned handle for path (never 0 for a real entry)
+	from         NodeID   // advertising peer; -1 for a locally originated route
 	fromInternal bool
-
-	// export caches prependPath(localAS, path), the announcement every
-	// external peer receives for this entry. It is computed lazily on the
-	// first external advertisement and shared by all peers (paths are
-	// immutable), so re-advertising one Loc-RIB entry to N peers costs one
-	// allocation instead of N — the single largest allocation site in the
-	// unpooled simulator. nil means "not computed yet" (a computed export
-	// always has length >= 1: the local AS).
-	export Path
-
-	// asMask is a Bloom-style filter over the ASes on path (bit as&63 set
-	// for every hop), computed lazily under maskOK. A clear bit proves the
-	// AS is not on the path, so the per-peer export loop can skip the
-	// pathContains scan for almost every peer. Derived from path like
-	// export, and likewise ignored by sameAs.
-	asMask uint64
-	maskOK bool
 }
 
 // pathASMask folds the ASes on p into a 64-bit Bloom mask.
@@ -40,61 +26,62 @@ func pathASMask(p Path) uint64 {
 }
 
 // selfRoute is the Loc-RIB entry for a locally originated prefix.
-func selfRoute() locEntry {
-	return locEntry{path: Path{}, from: -1}
+func selfRoute(tab *pathTab) locEntry {
+	return locEntry{path: tab.path(tab.emptyRef), ref: tab.emptyRef, from: -1}
 }
 
 // isSelf reports whether the entry is locally originated.
 func (e locEntry) isSelf() bool { return e.from == -1 }
 
 // sameAs reports whether two entries would produce identical
-// advertisements and bookkeeping. The export cache is deliberately
-// ignored: it is derived from path and may be populated on one side only.
+// advertisements and bookkeeping.
 func (e locEntry) sameAs(o locEntry) bool {
-	return e.from == o.from && e.fromInternal == o.fromInternal && pathsEqual(e.path, o.path)
+	return e.from == o.from && e.fromInternal == o.fromInternal &&
+		((e.ref != 0 && e.ref == o.ref) || pathsEqual(e.path, o.path))
 }
 
-// locRIB is the Loc-RIB: one dense slot per destination index plus a
-// presence bitset. Presence must be tracked explicitly — a nil path is a
-// valid entry payload only for absent slots, while an empty non-nil path
-// is a real locally-originated route.
+// locRIB is the Loc-RIB in packed per-route encoding: parallel dense
+// arrays of 4-byte interned path refs and 4-byte cached export refs,
+// plus a presence bitset — 8 bytes and change per destination where the
+// previous struct-of-slices entry took 72. The winner's peer slot is not
+// stored here: router.bestSlot already records it (bestSelf for local
+// routes) and is maintained on every Loc-RIB mutation, so the entry's
+// provenance is derived from it on materialization.
+//
+// Presence must be tracked explicitly — ref 0 is a valid payload only
+// for absent slots, while the interned empty path (a real locally
+// originated route) has a nonzero ref.
 type locRIB struct {
-	entries []locEntry
+	refs    []routeRef // interned best path per dest; 0 in absent slots
+	exports []routeRef // cached prepend(localAS, refs[dest]); 0 = not yet computed
 	has     bitset
 }
 
 func newLocRIB(ndests int) locRIB {
-	return locRIB{entries: make([]locEntry, ndests), has: newBitset(ndests)}
-}
-
-// get returns the entry for dest.
-func (l *locRIB) get(dest ASN) (locEntry, bool) {
-	if !l.has.has(dest) {
-		return locEntry{}, false
+	return locRIB{
+		refs:    make([]routeRef, ndests),
+		exports: make([]routeRef, ndests),
+		has:     newBitset(ndests),
 	}
-	return l.entries[dest], true
 }
 
-// ptr returns a pointer to the live entry for dest, or nil when absent.
-// The pointer is valid until the next reset/resize; callers use it to
-// update the export cache in place.
-func (l *locRIB) ptr(dest ASN) *locEntry {
-	if !l.has.has(dest) {
-		return nil
-	}
-	return &l.entries[dest]
+// getRef returns the interned best-path ref for dest.
+func (l *locRIB) getRef(dest ASN) (routeRef, bool) {
+	ref := l.refs[dest]
+	return ref, ref != 0
 }
 
-// set installs e as the entry for dest.
-func (l *locRIB) set(dest ASN, e locEntry) {
-	l.entries[dest] = e
+// set installs ref as the entry for dest, invalidating the export cache.
+func (l *locRIB) set(dest ASN, ref routeRef) {
+	l.refs[dest] = ref
+	l.exports[dest] = 0
 	l.has.set(dest)
 }
 
-// del removes the entry for dest. The slot is zeroed so stale path
-// slices do not outlive the route.
+// del removes the entry for dest.
 func (l *locRIB) del(dest ASN) {
-	l.entries[dest] = locEntry{}
+	l.refs[dest] = 0
+	l.exports[dest] = 0
 	l.has.clear(dest)
 }
 
@@ -104,106 +91,112 @@ func (l *locRIB) reset() {
 		base := wi << 6
 		for w != 0 {
 			i := base + trailingZeros(w)
-			l.entries[i] = locEntry{}
+			l.refs[i] = 0
+			l.exports[i] = 0
 			w &= w - 1
 		}
 		l.has[wi] = 0
 	}
 }
 
-// ribSlot is a dense destination-indexed path table: the latest path per
-// dest plus a presence bitset (a nil stored path cannot stand in for
-// "absent" — withdrawn state must be distinguishable from a nil payload).
-// It backs both the per-peer Adj-RIB-In columns and the per-slot
-// advertised-route bookkeeping in router.
-type ribSlot struct {
-	paths []Path
-	has   bitset
+// refSlot is one peer's dense destination-indexed route column in the
+// sparse-within-dense hybrid: the 4-byte interned ref per destination
+// (0 = absent; real routes always have nonzero refs, so no separate
+// presence bit is needed), allocated lazily on the first route stored —
+// peers that never advertise (and advertisement columns never sent to)
+// cost nothing. It backs both the per-peer Adj-RIB-In columns and the
+// per-slot advertised-route bookkeeping in router.
+type refSlot struct {
+	refs []routeRef
 }
 
-func newRIBSlot(ndests int) ribSlot {
-	return ribSlot{paths: make([]Path, ndests), has: newBitset(ndests)}
-}
-
-// get returns the stored path for dest.
-func (s *ribSlot) get(dest ASN) (Path, bool) {
-	if !s.has.has(dest) {
-		return nil, false
+// get returns the stored ref for dest (0 when absent).
+func (s *refSlot) get(dest ASN) routeRef {
+	if s.refs == nil {
+		return 0
 	}
-	return s.paths[dest], true
+	return s.refs[dest]
 }
 
-// set records path for dest.
-func (s *ribSlot) set(dest ASN, path Path) {
-	s.paths[dest] = path
-	s.has.set(dest)
+// set records ref (which must be nonzero) for dest, materializing the
+// column on first use.
+func (s *refSlot) set(dest ASN, ref routeRef, ndests int) {
+	if s.refs == nil {
+		s.refs = make([]routeRef, ndests)
+	}
+	s.refs[dest] = ref
 }
 
-// del removes the entry for dest, reporting whether one existed. The
-// path slot is nilled so stale slices do not outlive the route.
-func (s *ribSlot) del(dest ASN) bool {
-	if !s.has.has(dest) {
+// del removes the entry for dest, reporting whether one existed.
+func (s *refSlot) del(dest ASN) bool {
+	if s.refs == nil || s.refs[dest] == 0 {
 		return false
 	}
-	s.paths[dest] = nil
-	s.has.clear(dest)
+	s.refs[dest] = 0
 	return true
 }
 
-// reset empties the table in O(occupied entries), retaining capacity.
-func (s *ribSlot) reset() {
-	for wi, w := range s.has {
-		base := wi << 6
-		for w != 0 {
-			s.paths[base+trailingZeros(w)] = nil
-			w &= w - 1
-		}
-		s.has[wi] = 0
-	}
+// reset empties the column, retaining its storage.
+func (s *refSlot) reset() {
+	clear(s.refs)
 }
 
-// adjRIBIn stores, per peer slot, the latest valid path heard from that
+// any reports whether the column holds any route.
+func (s *refSlot) any() bool {
+	for _, ref := range s.refs {
+		if ref != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// drop releases the column (used when the dest axis is re-dimensioned);
+// it re-materializes lazily at the new size.
+func (s *refSlot) drop() {
+	s.refs = nil
+}
+
+// adjRIBIn stores, per peer slot, the latest valid route heard from that
 // peer for each destination. Paths containing the local AS are rejected
-// at insertion (receiver-side loop detection), so stored paths are always
-// loop-free here. Storage is a flat slot × dest array: destinations are
-// dense small integers (dest = AS·prefixesPerAS + i with dense AS
-// numbering), so the dest index is used directly.
+// at insertion (receiver-side loop detection), so stored routes are
+// always loop-free here. Storage is a lazily materialized slot × dest
+// ref array: destinations are dense small integers (dest =
+// AS·PrefixesPerOrigin + i with dense AS numbering), so the dest index
+// is used directly, and a slot's column exists only once the peer has
+// advertised something.
 type adjRIBIn struct {
 	slotOf map[NodeID]int // shared with the owning router
-	slots  []ribSlot
+	tab    *pathTab       // shared with the owning Simulator
+	ndests int
+	slots  []refSlot
 }
 
 // newAdjRIBIn returns an Adj-RIB-In for nslots peers and ndests dense
-// destination indices, resolving node IDs through slotOf.
-func newAdjRIBIn(slotOf map[NodeID]int, nslots, ndests int) *adjRIBIn {
-	rib := &adjRIBIn{slotOf: slotOf, slots: make([]ribSlot, nslots)}
-	for i := range rib.slots {
-		rib.slots[i] = newRIBSlot(ndests)
-	}
-	return rib
+// destination indices, resolving node IDs through slotOf and paths
+// through tab.
+func newAdjRIBIn(slotOf map[NodeID]int, tab *pathTab, nslots, ndests int) *adjRIBIn {
+	return &adjRIBIn{slotOf: slotOf, tab: tab, ndests: ndests, slots: make([]refSlot, nslots)}
 }
 
 // resize re-dimensions the dest axis, emptying the table.
 func (rib *adjRIBIn) resize(ndests int) {
+	rib.ndests = ndests
 	for i := range rib.slots {
-		if len(rib.slots[i].paths) != ndests {
-			rib.slots[i] = newRIBSlot(ndests)
-		} else {
-			rib.slots[i].reset()
-		}
+		rib.slots[i].drop()
 	}
 }
 
-// reset empties the table in O(occupied entries), retaining capacity.
+// reset empties the table, retaining materialized columns.
 func (rib *adjRIBIn) reset() {
 	for i := range rib.slots {
 		rib.slots[i].reset()
 	}
 }
 
-// setSlot records path as the latest route for dest from the peer slot.
-func (rib *adjRIBIn) setSlot(slot int, dest ASN, path Path) {
-	rib.slots[slot].set(dest, path)
+// setSlot records ref as the latest route for dest from the peer slot.
+func (rib *adjRIBIn) setSlot(slot int, dest ASN, ref routeRef) {
+	rib.slots[slot].set(dest, ref, rib.ndests)
 }
 
 // removeSlot deletes the route for dest from the peer slot, reporting
@@ -212,15 +205,17 @@ func (rib *adjRIBIn) removeSlot(slot int, dest ASN) bool {
 	return rib.slots[slot].del(dest)
 }
 
-// getSlot returns the stored path for (slot, dest).
-func (rib *adjRIBIn) getSlot(slot int, dest ASN) (Path, bool) {
+// getSlotRef returns the stored ref for (slot, dest); 0 when absent.
+func (rib *adjRIBIn) getSlotRef(slot int, dest ASN) routeRef {
 	return rib.slots[slot].get(dest)
 }
 
-// set records path as the latest route for dest from peer node.
+// set records path as the latest route for dest from peer node,
+// interning it. Convenience for tests; the simulator's receive path
+// stores pre-interned refs via setSlot.
 func (rib *adjRIBIn) set(dest ASN, from NodeID, path Path) {
 	if slot, ok := rib.slotOf[from]; ok {
-		rib.setSlot(slot, dest, path)
+		rib.setSlot(slot, dest, rib.tab.intern(path))
 	}
 }
 
@@ -240,13 +235,19 @@ func (rib *adjRIBIn) get(dest ASN, from NodeID) (Path, bool) {
 	if !ok {
 		return nil, false
 	}
-	return rib.getSlot(slot, dest)
+	ref := rib.getSlotRef(slot, dest)
+	return rib.tab.path(ref), ref != 0
 }
 
 // destsViaSlot appends the destinations with a route from the peer slot
 // to buf in ascending (sorted) order and returns the extended slice.
 func (rib *adjRIBIn) destsViaSlot(slot int, buf []ASN) []ASN {
-	return rib.slots[slot].has.appendIndices(buf)
+	for dest, ref := range rib.slots[slot].refs {
+		if ref != 0 {
+			buf = append(buf, dest)
+		}
+	}
+	return buf
 }
 
 // decide runs the decision process for dest over the candidate routes in
@@ -275,14 +276,14 @@ func decide(rib *adjRIBIn, dest ASN, peers []Peer, peerAlive []bool, damp *dampe
 		if peerAlive != nil && !peerAlive[slot] {
 			continue
 		}
-		path, ok := rib.getSlot(slot, dest)
-		if !ok {
+		ref := rib.getSlotRef(slot, dest)
+		if ref == 0 {
 			continue
 		}
 		if damp != nil && damp.isSuppressed(dest, peer.Node) {
 			continue
 		}
-		cand := locEntry{path: path, from: peer.Node, fromInternal: peer.Internal}
+		cand := locEntry{path: rib.tab.path(ref), ref: ref, from: peer.Node, fromInternal: peer.Internal}
 		class := routeClass(rel, self, peer)
 		if !found || betterRoute(cand, peer, class, best, bestPeer, bestClass) {
 			best, bestPeer, bestClass, bestSlot, found = cand, peer, class, slot, true

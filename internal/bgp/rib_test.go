@@ -47,6 +47,14 @@ func TestUpdateIsWithdrawal(t *testing.T) {
 	}
 }
 
+// testTab returns a fresh path table for tests that build RIBs outside
+// a Simulator.
+func testTab() *pathTab {
+	tab := &pathTab{}
+	tab.reset()
+	return tab
+}
+
 // ribOver builds an Adj-RIB-In whose slots follow the given peer order,
 // sized for dense destination indices in [0, ndests).
 func ribOver(peers []Peer, ndests int) *adjRIBIn {
@@ -54,7 +62,7 @@ func ribOver(peers []Peer, ndests int) *adjRIBIn {
 	for slot, p := range peers {
 		slotOf[p.Node] = slot
 	}
-	return newAdjRIBIn(slotOf, len(peers), ndests)
+	return newAdjRIBIn(slotOf, testTab(), len(peers), ndests)
 }
 
 func TestAdjRIBInSetGetRemove(t *testing.T) {
@@ -76,11 +84,11 @@ func TestAdjRIBInSetGetRemove(t *testing.T) {
 	if rib.remove(1, 2) {
 		t.Error("double remove returned true")
 	}
-	if rib.slots[0].has.any() {
-		t.Error("presence bit not cleared after remove")
+	if rib.slots[0].any() {
+		t.Error("presence not cleared after remove")
 	}
-	if rib.slots[0].paths[1] != nil {
-		t.Error("stale path retained after remove")
+	if rib.slots[0].refs[1] != 0 {
+		t.Error("stale ref retained after remove")
 	}
 }
 
@@ -116,12 +124,9 @@ func TestAdjRIBInReset(t *testing.T) {
 		t.Error("route survived reset")
 	}
 	for slot := range rib.slots {
-		if rib.slots[slot].has.any() {
-			t.Errorf("slot %d presence bits survived reset", slot)
-		}
-		for dest, p := range rib.slots[slot].paths {
-			if p != nil {
-				t.Errorf("slot %d dest %d retained path %v after reset", slot, dest, p)
+		for dest, ref := range rib.slots[slot].refs {
+			if ref != 0 {
+				t.Errorf("slot %d dest %d retained ref %d after reset", slot, dest, ref)
 			}
 		}
 	}
@@ -216,7 +221,7 @@ func TestLocEntrySameAs(t *testing.T) {
 }
 
 func TestSelfRoute(t *testing.T) {
-	e := selfRoute()
+	e := selfRoute(testTab())
 	if !e.isSelf() {
 		t.Error("selfRoute not self")
 	}

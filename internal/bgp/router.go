@@ -1,6 +1,7 @@
 package bgp
 
 import (
+	"math"
 	"time"
 
 	"bgpsim/internal/des"
@@ -15,10 +16,15 @@ import (
 //
 // All per-destination state is held in dense arrays indexed by the
 // Simulator-owned dest index (see Simulator.ndests): the Adj-RIB-In and
-// Loc-RIB, the per-slot advertised paths, the pending bitsets, the
-// per-destination MRAI gates, and the flap counters. Dense storage keeps
-// steady-state routing churn allocation-free and lets reset rewind a
-// router in O(occupied entries) for simulator reuse.
+// Loc-RIB, the per-slot advertised refs, the pending bitsets, the
+// per-destination MRAI gates, and the flap counters. Routes are stored as
+// 4-byte interned routeRefs (see pathTab) and the per-destination slot
+// caches as 2-byte slot indices, so the per-router footprint is a few
+// bytes per destination plus 4 bytes per (advertising peer, destination)
+// — the packed encoding that keeps ndests = ASes × PrefixesPerOrigin
+// tables affordable. Dense storage keeps steady-state routing churn
+// allocation-free and lets reset rewind a router in O(occupied entries)
+// for simulator reuse.
 type router struct {
 	id    NodeID
 	as    ASN
@@ -35,7 +41,7 @@ type router struct {
 	originates bitset
 
 	// Per-slot advertisement state.
-	advertised []ribSlot    // last announcement per destination (absent = withdrawn/never)
+	advertised []refSlot    // last announced ref per destination (0 = withdrawn/never)
 	pending    []bitset     // destinations needing re-advertisement (drained in ascending order)
 	nextSend   []des.Time   // per-peer MRAI gate: announcements allowed at/after this time
 	destGate   [][]des.Time // per-destination gates (PerDestinationMRAI ablation); zero = open
@@ -66,8 +72,13 @@ type router struct {
 	lastSnapBusy  time.Duration
 	msgsSinceSnap int
 
-	// flapCount drives the Deshpande–Sikdar flap gate.
-	flapCount []int32
+	// flapCount drives the Deshpande–Sikdar flap gate. Nil unless
+	// Params.FlapGate > 0 — no other scheme reads it, and an always-on
+	// per-dest counter is real memory at multi-prefix scale. int16 with
+	// saturation: the gate compares against Params.FlapGate (single
+	// digits in the paper), so saturating at 32767 can only matter for
+	// absurd gate settings.
+	flapCount []int16
 
 	// damper holds RFC 2439 flap-damping state (nil when disabled).
 	damper *damper
@@ -78,23 +89,26 @@ type router struct {
 	// maintained on every Loc-RIB mutation, which upholds the invariant
 	// the fast path relies on: with damping disabled, the Loc-RIB always
 	// equals decide(Adj-RIB-In), so bestSlot is exactly the slot a full
-	// scan would pick. workSlot is the within-batch working copy (lazily
-	// initialized from bestSlot on a destination's first touch, tracked
-	// by the touched bitset), advanced by classify as the batch applies;
-	// scanNeeded flags destinations whose outcome cannot be resolved
-	// without the full decide scan. incremental is false under damping
-	// (suppression decays with wall-clock time, invalidating the cache)
-	// and under Params.ForceFullScan.
+	// scan would pick. It doubles as the provenance of the packed Loc-RIB
+	// entry (locEntryAt derives from/fromInternal through it). workSlot
+	// is the within-batch working copy (lazily initialized from bestSlot
+	// on a destination's first touch, tracked by the touched bitset),
+	// advanced by classify as the batch applies; scanNeeded flags
+	// destinations whose outcome cannot be resolved without the full
+	// decide scan. incremental is false under damping (suppression decays
+	// with wall-clock time, invalidating the cache) and under
+	// Params.ForceFullScan. Slot indices are int16: a router with 32k+
+	// peers is far beyond any modeled topology.
 	incremental bool
-	bestSlot    []int32
-	workSlot    []int32
+	bestSlot    []int16
+	workSlot    []int16
 	scanNeeded  bitset
 }
 
 // bestSlot sentinel values (real peer slots are >= 0).
 const (
-	bestNone int32 = -1 // no Loc-RIB entry for the destination
-	bestSelf int32 = -2 // locally originated route: never displaced
+	bestNone int16 = -1 // no Loc-RIB entry for the destination
+	bestSelf int16 = -2 // locally originated route: never displaced
 )
 
 // newRouter builds the topology-dependent skeleton of a router (peer
@@ -112,7 +126,7 @@ func newRouter(id NodeID, as ASN, peers []Peer, sim *Simulator) *router {
 		slotOf:     make(map[NodeID]int, len(peers)),
 		nextSend:   make([]des.Time, len(peers)),
 		flushEv:    make([]*des.Event, len(peers)),
-		advertised: make([]ribSlot, len(peers)),
+		advertised: make([]refSlot, len(peers)),
 		pending:    make([]bitset, len(peers)),
 		flushTasks: make([]flushTask, len(peers)),
 	}
@@ -121,7 +135,7 @@ func newRouter(id NodeID, as ASN, peers []Peer, sim *Simulator) *router {
 		r.slotOf[peer.Node] = slot
 		r.flushTasks[slot] = flushTask{r: r, slot: slot}
 	}
-	r.adjIn = &adjRIBIn{slotOf: r.slotOf, slots: make([]ribSlot, len(peers))}
+	r.adjIn = newAdjRIBIn(r.slotOf, &sim.tab, len(peers), 0)
 	return r
 }
 
@@ -141,18 +155,17 @@ func (r *router) reset(p Params, ndests int) {
 		r.loc = newLocRIB(ndests)
 		r.originates = newBitset(ndests)
 		for slot := range r.advertised {
-			r.advertised[slot] = newRIBSlot(ndests)
+			r.advertised[slot].drop()
 		}
 		for slot := range r.pending {
 			r.pending[slot] = newBitset(ndests)
 		}
-		r.flapCount = make([]int32, ndests)
 		r.touched = newBitset(ndests)
-		r.bestSlot = make([]int32, ndests)
+		r.bestSlot = make([]int16, ndests)
 		for i := range r.bestSlot {
 			r.bestSlot[i] = bestNone
 		}
-		r.workSlot = make([]int32, ndests)
+		r.workSlot = make([]int16, ndests)
 		r.scanNeeded = newBitset(ndests)
 	} else {
 		r.adjIn.reset()
@@ -164,14 +177,26 @@ func (r *router) reset(p Params, ndests int) {
 		for slot := range r.pending {
 			r.pending[slot].clearAll()
 		}
-		for i := range r.flapCount {
-			r.flapCount[i] = 0
-		}
 		r.touched.clearAll()
 		for i := range r.bestSlot {
 			r.bestSlot[i] = bestNone
 		}
 		r.scanNeeded.clearAll()
+	}
+	// flapCount backs only the Deshpande–Sikdar flap gate; every other
+	// scheme leaves the array nil so the gate costs nothing per
+	// destination. At multi-prefix scale an always-on int16 per dest per
+	// router is half a GB of dead weight.
+	if p.FlapGate > 0 {
+		if len(r.flapCount) != ndests {
+			r.flapCount = make([]int16, ndests)
+		} else {
+			for i := range r.flapCount {
+				r.flapCount[i] = 0
+			}
+		}
+	} else {
+		r.flapCount = nil
 	}
 	for slot := range r.peers {
 		r.peerAlive[slot] = true
@@ -217,10 +242,25 @@ func (r *router) reset(p Params, ndests int) {
 	r.changed = r.changed[:0]
 }
 
+// locEntryAt materializes the Loc-RIB entry for dest from the packed
+// storage: the interned path ref plus provenance derived from bestSlot.
+func (r *router) locEntryAt(dest ASN) (locEntry, bool) {
+	ref, ok := r.loc.getRef(dest)
+	if !ok {
+		return locEntry{}, false
+	}
+	e := locEntry{path: r.sim.tab.path(ref), ref: ref, from: -1}
+	if bs := r.bestSlot[dest]; bs >= 0 {
+		p := &r.peers[bs]
+		e.from, e.fromInternal = p.Node, p.Internal
+	}
+	return e, true
+}
+
 // originate installs a locally originated prefix and advertises it.
 func (r *router) originate(dest ASN) {
 	r.originates.set(dest)
-	r.loc.set(dest, selfRoute())
+	r.loc.set(dest, r.sim.tab.emptyRef)
 	r.bestSlot[dest] = bestSelf
 	r.markPendingAll(dest)
 	r.flushAll()
@@ -289,8 +329,14 @@ func (r *router) startProcessing() {
 		if r.sim.params.SkipNoopUpdates {
 			kept := batch[:0]
 			for _, u := range batch {
-				stored, has := r.adjIn.get(u.Dest, u.From)
-				noop := u.IsWithdrawal() && !has || !u.IsWithdrawal() && has && pathsEqual(stored, u.Path)
+				var stored routeRef
+				if slot, ok := r.slotOf[u.From]; ok {
+					stored = r.adjIn.getSlotRef(slot, u.Dest)
+				}
+				has := stored != 0
+				noop := u.IsWithdrawal() && !has ||
+					!u.IsWithdrawal() && has &&
+						(stored == u.Ref || pathsEqual(r.sim.tab.path(stored), u.Path))
 				if noop {
 					discarded++
 					continue
@@ -345,26 +391,42 @@ func (r *router) finishProcessing(batch []Update) {
 		if !ok || !r.peerAlive[slot] {
 			continue
 		}
+		ref := u.Ref
+		looped := false
+		if !u.IsWithdrawal() {
+			if ref == 0 {
+				// Foreign update (hand-built outside the simulator):
+				// intern its path on arrival.
+				ref = r.sim.tab.intern(u.Path)
+			}
+			// Receiver-side loop detection: the clear mask bit proves the
+			// local AS is absent, skipping the path scan for almost every
+			// update.
+			if r.sim.tab.mask(ref)&(1<<(uint(r.as)&63)) != 0 {
+				looped = pathContains(u.Path, r.as)
+			}
+		}
 		if incr {
 			// Classify the update against the working best before the
 			// Adj-RIB-In mutation below overwrites the previous route.
 			if !touched.has(u.Dest) {
 				r.workSlot[u.Dest] = r.bestSlot[u.Dest]
 			}
-			r.classify(slot, u)
+			r.classify(slot, u, looped)
 		}
 		// Flap accounting per RFC 2439: withdrawals and re-advertisements
 		// of an existing route are penalized; a peer's first announcement
 		// of a destination is not.
 		flapped := false
-		if u.IsWithdrawal() || pathContains(u.Path, r.as) {
-			// Receiver-side loop detection treats a looped path as an
-			// implicit withdrawal of the peer's previous route.
+		if u.IsWithdrawal() || looped {
+			// A looped path is treated as an implicit withdrawal of the
+			// peer's previous route.
 			flapped = r.adjIn.removeSlot(slot, u.Dest)
 		} else {
-			prev, had := r.adjIn.getSlot(slot, u.Dest)
-			flapped = had && !pathsEqual(prev, u.Path)
-			r.adjIn.setSlot(slot, u.Dest, u.Path)
+			prev := r.adjIn.getSlotRef(slot, u.Dest)
+			flapped = prev != 0 &&
+				!(prev == ref || pathsEqual(r.sim.tab.path(prev), u.Path))
+			r.adjIn.setSlot(slot, u.Dest, ref)
 		}
 		if flapped && r.damper != nil {
 			r.penalize(u.Dest, u.From)
@@ -405,7 +467,7 @@ func (r *router) finishProcessing(batch []Update) {
 // scan. It returns true when the Loc-RIB entry changed in any way that
 // affects advertisements.
 func (r *router) runDecision(dest ASN) bool {
-	old, hadOld := r.loc.get(dest)
+	old, hadOld := r.locEntryAt(dest)
 	if hadOld && old.isSelf() {
 		return false // locally originated routes are never displaced
 	}
@@ -415,7 +477,8 @@ func (r *router) runDecision(dest ASN) bool {
 
 // classify folds one arriving update into the batch's working-best
 // bookkeeping, before the Adj-RIB-In mutation for the update is applied.
-// The per-destination batch outcomes:
+// looped is the precomputed receiver-side loop-detection verdict for the
+// update's path. The per-destination batch outcomes:
 //
 //	(a) an update strictly better than the working best becomes the
 //	    working best without a scan;
@@ -431,7 +494,7 @@ func (r *router) runDecision(dest ASN) bool {
 // winning. Only called in incremental mode, where damping is off — so
 // no candidate is ever suppressed and the Loc-RIB invariant (bestSlot ==
 // full-scan winner) holds between batches.
-func (r *router) classify(slot int, u Update) {
+func (r *router) classify(slot int, u Update, looped bool) {
 	dest := u.Dest
 	if r.scanNeeded.has(dest) {
 		return // already falling back to the full scan for this dest
@@ -440,7 +503,7 @@ func (r *router) classify(slot int, u Update) {
 	if ws == bestSelf {
 		return // locally originated: the decision is always a no-op
 	}
-	if u.IsWithdrawal() || pathContains(u.Path, r.as) {
+	if u.IsWithdrawal() || looped {
 		if ws >= 0 && int(ws) == slot {
 			r.scanNeeded.set(dest) // (c) the working best's route went away
 		}
@@ -450,14 +513,15 @@ func (r *router) classify(slot int, u Update) {
 	cand := locEntry{path: u.Path, from: peer.Node, fromInternal: peer.Internal}
 	class := routeClass(r.sim.params.Policy, r.id, peer)
 	if ws < 0 {
-		r.workSlot[dest] = int32(slot) // first candidate for an empty table
+		r.workSlot[dest] = int16(slot) // first candidate for an empty table
 		return
 	}
-	wpath, ok := r.adjIn.getSlot(int(ws), dest)
-	if !ok {
+	wref := r.adjIn.getSlotRef(int(ws), dest)
+	if wref == 0 {
 		r.scanNeeded.set(dest) // defensive: cache out of sync, rescan
 		return
 	}
+	wpath := r.sim.tab.path(wref)
 	if int(ws) == slot {
 		// Re-announcement on the winning slot itself: same peer, so only
 		// the path ranking can move. A strictly worse replacement forces
@@ -472,7 +536,7 @@ func (r *router) classify(slot int, u Update) {
 	wentry := locEntry{path: wpath, from: wpeer.Node, fromInternal: wpeer.Internal}
 	wclass := routeClass(r.sim.params.Policy, r.id, wpeer)
 	if betterRoute(cand, peer, class, wentry, wpeer, wclass) {
-		r.workSlot[dest] = int32(slot) // (a) strictly better: new working best
+		r.workSlot[dest] = int16(slot) // (a) strictly better: new working best
 	}
 	// else (b): does not beat the working best — no-op.
 }
@@ -484,7 +548,7 @@ func (r *router) classify(slot int, u Update) {
 // Loc-RIB commit (and all its observable side effects) is shared with
 // runDecision, so the two paths cannot drift.
 func (r *router) applyWorkingBest(dest ASN) bool {
-	old, hadOld := r.loc.get(dest)
+	old, hadOld := r.locEntryAt(dest)
 	if hadOld && old.isSelf() {
 		return false // locally originated routes are never displaced
 	}
@@ -495,12 +559,12 @@ func (r *router) applyWorkingBest(dest ASN) bool {
 		// initialized ws to its slot).
 		return false
 	}
-	path, ok := r.adjIn.getSlot(int(ws), dest)
-	if !ok {
+	ref := r.adjIn.getSlotRef(int(ws), dest)
+	if ref == 0 {
 		return r.runDecision(dest) // defensive: cache out of sync, rescan
 	}
 	peer := r.peers[ws]
-	best := locEntry{path: path, from: peer.Node, fromInternal: peer.Internal}
+	best := locEntry{path: r.sim.tab.path(ref), ref: ref, from: peer.Node, fromInternal: peer.Internal}
 	return r.commitDecision(dest, old, hadOld, best, int(ws), true)
 }
 
@@ -520,12 +584,14 @@ func (r *router) commitDecision(dest ASN, old locEntry, hadOld bool, best locEnt
 	case hadOld && best.sameAs(old):
 		return false // bestSlot already points at slot (same winner)
 	default:
-		r.loc.set(dest, best)
-		r.bestSlot[dest] = int32(slot)
+		r.loc.set(dest, best.ref)
+		r.bestSlot[dest] = int16(slot)
 	}
 	pathChanged := !hadOld || !ok || !pathsEqual(old.path, best.path)
 	if pathChanged {
-		r.flapCount[dest]++
+		if r.flapCount != nil && r.flapCount[dest] != math.MaxInt16 {
+			r.flapCount[dest]++
+		}
 		r.sim.col.NoteRouteChange(r.sim.eng.Now())
 		pathLen := -1
 		if ok {
@@ -595,13 +661,15 @@ func (r *router) tryFlush(slot int) {
 
 	adv := &r.advertised[slot]
 	for _, dest := range dests {
-		desired := r.desiredAdvert(dest, slot)
-		// The advertised table only ever records non-nil announcement
-		// paths (withdrawals delete the entry), so presence collapses to a
-		// nil check — no bitset probe on this very hot load.
-		last := adv.paths[dest]
-		hadLast := last != nil
-		if pathsEqual(desired, last) && (desired != nil || !hadLast) {
+		desired, desiredRef := r.desiredAdvert(dest, slot)
+		// The advertised table only ever records nonzero announcement
+		// refs (withdrawals delete the entry), so presence collapses to a
+		// zero check on this very hot load. Matching refs always carry
+		// equal paths; differing refs fall back to the path comparison
+		// (interning is an acceleration, not an identity oracle).
+		lastRef := adv.get(dest)
+		if desiredRef == lastRef ||
+			(desiredRef != 0 && lastRef != 0 && pathsEqual(desired, r.sim.tab.path(lastRef))) {
 			pend.clear(dest)
 			continue
 		}
@@ -629,8 +697,8 @@ func (r *router) tryFlush(slot int) {
 			noteBlocked(r.gateTime(slot, dest))
 			continue
 		}
-		r.send(slot, Update{From: r.id, Dest: dest, Path: desired})
-		adv.set(dest, desired)
+		r.send(slot, Update{From: r.id, Dest: dest, Path: desired, Ref: desiredRef})
+		adv.set(dest, desiredRef, r.ndests)
 		pend.clear(dest)
 		sentAny = true
 		if !bypass {
@@ -718,9 +786,9 @@ func (r *router) send(slot int, u Update) {
 }
 
 // desiredAdvert computes what the router should currently advertise to
-// the slot's peer for dest: the announcement path, or nil meaning
-// "nothing" (which materializes as a withdrawal if something was
-// previously advertised). The rules:
+// the slot's peer for dest: the announcement path and its interned ref,
+// or (nil, 0) meaning "nothing" (which materializes as a withdrawal if
+// something was previously advertised). The rules:
 //
 //   - no valid route -> nil;
 //   - never back to the peer the best route came from (split horizon /
@@ -729,51 +797,53 @@ func (r *router) send(slot int, u Update) {
 //   - to an internal peer the path is passed unchanged;
 //   - to an external peer the local AS is prepended, and the route is
 //     suppressed if the peer's AS already appears on the path.
-func (r *router) desiredAdvert(dest ASN, slot int) Path {
-	e := r.loc.ptr(dest)
-	if e == nil {
-		return nil
+//
+// The prepended export is derived through the path table's memoized
+// prepend — every peer, every flush retry, and every prefix of an origin
+// shares the same interned slice — and its ref is cached per destination
+// in the Loc-RIB so the steady-state flush pays one array load.
+func (r *router) desiredAdvert(dest ASN, slot int) (Path, routeRef) {
+	ref, ok := r.loc.getRef(dest)
+	if !ok {
+		return nil, 0
 	}
 	peer := r.peers[slot]
-	if e.from == peer.Node {
-		return nil
-	}
-	if e.fromInternal && peer.Internal {
-		return nil
-	}
-	if rel := r.sim.params.Policy; rel != nil && !peer.Internal && !e.isSelf() {
-		// Gao–Rexford export rule: self-originated and customer-learned
-		// routes are exported to everyone; peer- and provider-learned
-		// routes only to customers.
-		fromCustomer := routeClass(rel, r.id, r.peers[r.slotOf[e.from]]) == 0
-		toCustomer := rel.Of(r.id, peer.Node) == topology.RelCustomer || rel.Of(r.id, peer.Node) == topology.RelNone
-		if !fromCustomer && !toCustomer {
-			return nil
+	if bs := r.bestSlot[dest]; bs >= 0 {
+		fp := &r.peers[bs]
+		if fp.Node == peer.Node {
+			return nil, 0
+		}
+		if fp.Internal && peer.Internal {
+			return nil, 0
+		}
+		if rel := r.sim.params.Policy; rel != nil && !peer.Internal {
+			// Gao–Rexford export rule: self-originated and customer-learned
+			// routes are exported to everyone; peer- and provider-learned
+			// routes only to customers.
+			fromCustomer := routeClass(rel, r.id, *fp) == 0
+			toCustomer := rel.Of(r.id, peer.Node) == topology.RelCustomer || rel.Of(r.id, peer.Node) == topology.RelNone
+			if !fromCustomer && !toCustomer {
+				return nil, 0
+			}
 		}
 	}
+	tab := &r.sim.tab
 	if peer.Internal {
-		return e.path
+		return tab.path(ref), ref
 	}
 	if peer.AS == r.as {
 		// Defensive: external peers always have a different AS.
-		return nil
+		return nil, 0
 	}
-	if !e.maskOK {
-		// Computed once per entry, like the export cache below.
-		e.asMask = pathASMask(e.path)
-		e.maskOK = true
+	if tab.mask(ref)&(1<<(uint(peer.AS)&63)) != 0 && pathContains(tab.path(ref), peer.AS) {
+		return nil, 0
 	}
-	if e.asMask&(1<<(uint(peer.AS)&63)) != 0 && pathContains(e.path, peer.AS) {
-		return nil
+	exp := r.loc.exports[dest]
+	if exp == 0 {
+		exp = tab.prepend(r.as, ref)
+		r.loc.exports[dest] = exp
 	}
-	if e.export == nil {
-		// First external advertisement of this entry: compute the prepended
-		// path once — in arena storage, freed wholesale at Reset — and
-		// cache it in place on the Loc-RIB entry so every other peer (and
-		// every later flush retry) shares the same immutable slice.
-		e.export = r.sim.paths.prepend(r.as, e.path)
-	}
-	return e.export
+	return tab.path(exp), exp
 }
 
 // --- failure handling ---------------------------------------------------
@@ -796,7 +866,7 @@ func (r *router) revive() {
 	r.adjIn.reset()
 	r.loc.reset()
 	r.originates.clearAll()
-	r.inbox = newInbox(r.sim.params, len(r.bestSlot))
+	r.inbox = newInbox(r.sim.params, r.ndests)
 	r.inboxQueue, r.inboxDiscard = r.sim.params.Queue, r.sim.params.BatchDiscardStale
 	r.policy = r.sim.params.MRAI(len(r.peers))
 	for i := range r.flapCount {
@@ -866,7 +936,7 @@ func (r *router) peerDown(slot int) {
 	anyChanged := false
 	for _, dest := range affected {
 		r.adjIn.removeSlot(slot, dest)
-		if r.incremental && r.bestSlot[dest] != int32(slot) {
+		if r.incremental && r.bestSlot[dest] != int16(slot) {
 			// Losing a route that was not the winner cannot change the
 			// decision: the full scan would re-pick the cached winner and
 			// return unchanged (the dead slot is already skipped via

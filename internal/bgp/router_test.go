@@ -34,36 +34,59 @@ func lineSim(t *testing.T, p Params) *Simulator {
 	return sim
 }
 
+// setLocForTest installs path as dest's Loc-RIB winner learned from peer
+// node from (-1 for a locally originated route), maintaining the
+// bestSlot provenance the packed Loc-RIB derives entries from.
+func (r *router) setLocForTest(dest ASN, path Path, from NodeID) {
+	if from == -1 {
+		r.loc.set(dest, r.sim.tab.emptyRef)
+		r.bestSlot[dest] = bestSelf
+		return
+	}
+	r.loc.set(dest, r.sim.tab.intern(path))
+	r.bestSlot[dest] = int16(r.slotOf[from])
+}
+
+// advertisedPath returns what the router last announced to the slot's
+// peer for dest.
+func (r *router) advertisedPath(slot int, dest ASN) (Path, bool) {
+	ref := r.advertised[slot].get(dest)
+	return r.sim.tab.path(ref), ref != 0
+}
+
 func TestDesiredAdvertRules(t *testing.T) {
 	// Router 1 (AS 1) peers: slot 0 -> node 0 (AS 0), slot 1 -> node 2 (AS 2).
 	sim := lineSim(t, strictParams(time.Second))
 	r := sim.routers[1]
 
 	// No route at all.
-	if got := r.desiredAdvert(7, 0); got != nil {
+	if got, _ := r.desiredAdvert(7, 0); got != nil {
 		t.Errorf("no-route advert = %v", got)
 	}
 
 	// Route learned from node 0: advertise to node 2 with own AS
 	// prepended; never back to node 0 (split horizon).
-	r.loc.set(7, locEntry{path: Path{0, 7}, from: 0})
-	if got := r.desiredAdvert(7, 0); got != nil {
+	r.setLocForTest(7, Path{0, 7}, 0)
+	if got, _ := r.desiredAdvert(7, 0); got != nil {
 		t.Errorf("split horizon violated: %v", got)
 	}
-	got := r.desiredAdvert(7, 1)
+	got, gotRef := r.desiredAdvert(7, 1)
 	if !pathsEqual(got, Path{1, 0, 7}) {
 		t.Errorf("external advert = %v, want [1 0 7]", got)
 	}
+	if gotRef == 0 || !pathsEqual(r.sim.tab.path(gotRef), got) {
+		t.Errorf("advert ref %d does not intern the advertised path", gotRef)
+	}
 
 	// Peer's AS already on the path: suppress.
-	r.loc.set(8, locEntry{path: Path{0, 2, 8}, from: 0})
-	if got := r.desiredAdvert(8, 1); got != nil {
+	r.setLocForTest(8, Path{0, 2, 8}, 0)
+	if got, _ := r.desiredAdvert(8, 1); got != nil {
 		t.Errorf("loop advert to peer on path: %v", got)
 	}
 
 	// Own prefix: prepend own AS only.
-	r.loc.set(1, selfRoute())
-	if got := r.desiredAdvert(1, 1); !pathsEqual(got, Path{1}) {
+	r.setLocForTest(1, nil, -1)
+	if got, _ := r.desiredAdvert(1, 1); !pathsEqual(got, Path{1}) {
 		t.Errorf("own prefix advert = %v, want [1]", got)
 	}
 }
@@ -83,22 +106,22 @@ func TestDesiredAdvertIBGPRules(t *testing.T) {
 	r1 := sim.routers[1] // slots: 0 -> node 0 (internal), 1 -> node 2 (external)
 
 	// EBGP-learned route goes to the IBGP peer unchanged.
-	r1.loc.set(9, locEntry{path: Path{2, 9}, from: 2})
-	if got := r1.desiredAdvert(9, 0); !pathsEqual(got, Path{2, 9}) {
+	r1.setLocForTest(9, Path{2, 9}, 2)
+	if got, _ := r1.desiredAdvert(9, 0); !pathsEqual(got, Path{2, 9}) {
 		t.Errorf("IBGP advert = %v, want unchanged [2 9]", got)
 	}
 	// ...but not back to the external peer it came from.
-	if got := r1.desiredAdvert(9, 1); got != nil {
+	if got, _ := r1.desiredAdvert(9, 1); got != nil {
 		t.Errorf("advert back to source: %v", got)
 	}
 
 	// IBGP-learned route must not be relayed to IBGP peers.
-	r1.loc.set(5, locEntry{path: Path{7, 5}, from: 0, fromInternal: true})
-	if got := r1.desiredAdvert(5, 0); got != nil {
+	r1.setLocForTest(5, Path{7, 5}, 0) // slot 0 is the internal peer
+	if got, _ := r1.desiredAdvert(5, 0); got != nil {
 		t.Errorf("IBGP relay to source: %v", got)
 	}
 	// It IS advertised externally, with own AS prepended.
-	if got := r1.desiredAdvert(5, 1); !pathsEqual(got, Path{0, 7, 5}) {
+	if got, _ := r1.desiredAdvert(5, 1); !pathsEqual(got, Path{0, 7, 5}) {
 		t.Errorf("external advert of IBGP route = %v, want [0 7 5]", got)
 	}
 }
@@ -114,7 +137,7 @@ func TestMRAIGatesSecondAnnouncement(t *testing.T) {
 	if r1.nextSend[slotTo2] != m {
 		t.Fatalf("nextSend = %v, want %v (no jitter)", r1.nextSend[slotTo2], m)
 	}
-	if got, _ := r1.advertised[slotTo2].get(1); !pathsEqual(got, Path{1}) {
+	if got, _ := r1.advertisedPath(slotTo2, 1); !pathsEqual(got, Path{1}) {
 		t.Fatalf("first announcement not sent: %v", got)
 	}
 
@@ -125,7 +148,7 @@ func TestMRAIGatesSecondAnnouncement(t *testing.T) {
 	}
 	r1.markPendingAll(7)
 	r1.flushAll()
-	if _, sent := r1.advertised[slotTo2].get(7); sent {
+	if _, sent := r1.advertisedPath(slotTo2, 7); sent {
 		t.Fatal("announcement escaped the MRAI gate")
 	}
 	if r1.flushEv[slotTo2] == nil {
@@ -138,7 +161,7 @@ func TestMRAIGatesSecondAnnouncement(t *testing.T) {
 	if err := sim.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if got, _ := r1.advertised[slotTo2].get(7); !pathsEqual(got, Path{1, 0, 7}) {
+	if got, _ := r1.advertisedPath(slotTo2, 7); !pathsEqual(got, Path{1, 0, 7}) {
 		t.Fatalf("deferred announcement = %v, want [1 0 7]", got)
 	}
 	// The deferred send rearmed the timer from t=m.
@@ -162,7 +185,7 @@ func TestWithdrawalBypassesMRAI(t *testing.T) {
 	r1.adjIn.remove(7, 0)
 	r1.runDecision(7)
 	r1.flushAll()
-	if _, ok := r1.advertised[slotTo2].get(7); ok {
+	if _, ok := r1.advertisedPath(slotTo2, 7); ok {
 		t.Fatal("phantom advertisement")
 	}
 
@@ -181,7 +204,7 @@ func TestWithdrawalBypassesMRAI(t *testing.T) {
 	r1.runDecision(8)
 	r1.markPendingAll(8)
 	r1.flushAll() // sends at `now`, rearms timer to now+m
-	if got, _ := r1.advertised[slotTo2].get(8); !pathsEqual(got, Path{1, 0, 8}) {
+	if got, _ := r1.advertisedPath(slotTo2, 8); !pathsEqual(got, Path{1, 0, 8}) {
 		t.Fatal("announcement for dest 8 missing")
 	}
 	before := sim.col.TotalMessages
@@ -189,7 +212,7 @@ func TestWithdrawalBypassesMRAI(t *testing.T) {
 	r1.runDecision(8)
 	r1.markPendingAll(8)
 	r1.flushAll()
-	if _, ok := r1.advertised[slotTo2].get(8); ok {
+	if _, ok := r1.advertisedPath(slotTo2, 8); ok {
 		t.Fatal("withdrawal blocked by MRAI")
 	}
 	if sim.col.TotalMessages == before {
@@ -278,18 +301,18 @@ func TestPeerDownInvalidatesRoutesAndCleansState(t *testing.T) {
 	}
 	r1 := sim.routers[1]
 	slotTo0 := r1.slotOf[0]
-	if _, ok := r1.loc.get(0); !ok {
+	if _, ok := r1.loc.getRef(0); !ok {
 		t.Fatal("no route to AS 0 before failure")
 	}
 	sim.routers[0].kill()
 	r1.peerDown(slotTo0)
-	if _, ok := r1.loc.get(0); ok {
+	if _, ok := r1.loc.getRef(0); ok {
 		t.Error("route via dead peer survived")
 	}
 	if r1.peerAlive[slotTo0] {
 		t.Error("peer still alive")
 	}
-	if r1.advertised[slotTo0].has.any() || r1.pending[slotTo0].any() {
+	if r1.advertised[slotTo0].any() || r1.pending[slotTo0].any() {
 		t.Error("per-slot state not cleared")
 	}
 	// Double peerDown is a no-op.
@@ -298,7 +321,7 @@ func TestPeerDownInvalidatesRoutesAndCleansState(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Node 2 must have learned the withdrawal of AS 0.
-	if _, ok := sim.routers[2].loc.get(0); ok {
+	if _, ok := sim.routers[2].loc.getRef(0); ok {
 		t.Error("withdrawal did not propagate to node 2")
 	}
 }
@@ -317,7 +340,7 @@ func TestReceiverSideLoopDetection(t *testing.T) {
 	if _, ok := r1.adjIn.get(9, 0); ok {
 		t.Error("looped path stored in Adj-RIB-In")
 	}
-	if _, ok := r1.loc.get(9); ok {
+	if _, ok := r1.loc.getRef(9); ok {
 		t.Error("looped path selected")
 	}
 }

@@ -52,9 +52,10 @@ type Simulator struct {
 	// number of simultaneously in-flight updates.
 	freeDeliveries *delivery
 
-	// paths allocates export-path slices; rewound by Reset once every
-	// reference (RIBs, in-flight updates) is gone.
-	paths pathArena
+	// tab interns every path the simulation creates (backed by a bump
+	// arena); all RIB storage holds 4-byte routeRefs into it. Rewound by
+	// Reset once every reference (RIBs, in-flight updates) is gone.
+	tab pathTab
 }
 
 // delivery is the pooled des.Runner carrying one in-flight update from
@@ -166,7 +167,7 @@ func (s *Simulator) Reset(params Params) error {
 	s.col.Reset()
 	// Safe exactly here: the engine drain above discarded in-flight
 	// updates and the router resets below clear every RIB reference.
-	s.paths.rewind()
+	s.tab.reset()
 
 	maxAS := 0
 	for id := 0; id < s.net.NumNodes(); id++ {
@@ -400,11 +401,11 @@ func (s *Simulator) LocPath(id NodeID, dest ASN) (Path, bool) {
 	if dest < 0 || dest >= s.routers[id].ndests {
 		return nil, false
 	}
-	e, ok := s.routers[id].loc.get(dest)
+	ref, ok := s.routers[id].loc.getRef(dest)
 	if !ok {
 		return nil, false
 	}
-	return e.path, true
+	return s.tab.path(ref), true
 }
 
 // Destinations returns the sorted list of originated prefixes. With

@@ -26,6 +26,14 @@ type Update struct {
 	From NodeID // sending router
 	Dest ASN    // destination AS the route is for
 	Path Path   // announced AS path; nil means withdrawal
+
+	// Ref is the sending simulator's interned handle for Path (zero for
+	// withdrawals). Updates built outside the simulator may leave it
+	// zero; the receive path interns the foreign path on arrival. Ref is
+	// a pure acceleration — every comparison that consults it falls back
+	// to pathsEqual — so a zero Ref can change performance, never
+	// behavior.
+	Ref routeRef
 }
 
 // IsWithdrawal reports whether the update withdraws the route.

@@ -32,6 +32,12 @@ type Options struct {
 	// RealisticMaxASSize caps routers per AS for Fig 13 (paper: 100;
 	// smaller values keep IBGP meshes manageable).
 	RealisticMaxASSize int
+	// PrefixesPerOrigin is the number of destination prefixes each AS
+	// originates (0 = the paper's single prefix). Values above 1 scale
+	// every figure's routing-table dimension; the value 1 is explicit
+	// single-prefix and must regenerate the recorded figures
+	// byte-identically (the prefix-ablation CI job pins this).
+	PrefixesPerOrigin int
 	// Workers bounds the worker pool each sweep fans its
 	// (series × x × trial) grid over: <= 0 selects GOMAXPROCS, 1 is
 	// fully serial. Figures are byte-identical for every worker count.
@@ -125,12 +131,26 @@ func (o Options) sweep(cfg experiment.SweepConfig) (experiment.Figure, error) {
 
 // skewedTopo returns the default 70-30 topology spec at the option scale.
 func (o Options) skewedTopo(kind topology.Kind) topology.Spec {
-	return topology.Spec{Kind: kind, N: o.Nodes}
+	return topology.Spec{Kind: kind, N: o.Nodes, PrefixesPerOrigin: o.prefixes()}
 }
 
 // realisticTopo returns the Fig 13 topology spec at the option scale.
 func (o Options) realisticTopo() topology.Spec {
-	return topology.Spec{Kind: topology.KindRealistic, N: o.Nodes, MaxASSize: o.RealisticMaxASSize}
+	return topology.Spec{
+		Kind: topology.KindRealistic, N: o.Nodes,
+		MaxASSize: o.RealisticMaxASSize, PrefixesPerOrigin: o.prefixes(),
+	}
+}
+
+// prefixes resolves the prefix dimension, normalizing the explicit
+// single-prefix request (1) to the zero default so the spec — and with
+// it the topology-memo key and every recorded figure — is bit-for-bit
+// the same as a run that never mentioned prefixes.
+func (o Options) prefixes() int {
+	if o.PrefixesPerOrigin <= 1 {
+		return 0
+	}
+	return o.PrefixesPerOrigin
 }
 
 // Experiment is a runnable reproduction of one paper figure (or one

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestFigureBytesUnchangedByExplicitSinglePrefix pins the contract the
+// prefix-ablation CI job rests on: requesting PrefixesPerOrigin = 1
+// explicitly must regenerate exactly the bytes of a run that never
+// mentions prefixes — the options normalize the explicit single-prefix
+// form to the default spec, so even the topology-memo keys coincide.
+func TestFigureBytesUnchangedByExplicitSinglePrefix(t *testing.T) {
+	for _, id := range []string{"1", "3"} {
+		e, err := Lookup(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(id, func(t *testing.T) {
+			render := func(prefixes int) string {
+				opts := microOptions()
+				opts.PrefixesPerOrigin = prefixes
+				fig, err := e.Run(opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return fig.Render()
+			}
+			if def, one := render(0), render(1); def != one {
+				t.Errorf("fig%s: explicit PrefixesPerOrigin=1 diverged from default\ndefault:\n%s\nexplicit:\n%s",
+					id, def, one)
+			}
+		})
+	}
+}
+
+// TestMultiPrefixFigureWorkerInvariant runs one figure with a real
+// prefix dimension through the parallel sweep at several worker counts:
+// the rendered bytes must be identical, extending the repo's
+// determinism guarantee to multi-prefix sweeps (the simulator pool now
+// re-dimensions simulators across prefix counts when specs share a
+// world).
+func TestMultiPrefixFigureWorkerInvariant(t *testing.T) {
+	e, err := Lookup("3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(workers int) string {
+		opts := microOptions()
+		opts.PrefixesPerOrigin = 3
+		opts.Workers = workers
+		fig, err := e.Run(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fig.Render()
+	}
+	want := render(1)
+	for _, workers := range []int{2, 4} {
+		if got := render(workers); got != want {
+			t.Errorf("workers=%d: multi-prefix figure diverged from serial\nserial:\n%s\nparallel:\n%s",
+				workers, want, got)
+		}
+	}
+}

@@ -78,6 +78,10 @@ type Options struct {
 	MRAIs []float64 `json:"mrais"`
 	// RealisticMaxASSize caps routers per AS for Fig 13 topologies.
 	RealisticMaxASSize int `json:"realistic_max_as_size"`
+	// PrefixesPerOrigin is the prefix dimension (0 = single prefix).
+	// omitempty keeps the wire form of single-prefix runs identical to
+	// coordinators that predate the field.
+	PrefixesPerOrigin int `json:"prefixes_per_origin,omitempty"`
 }
 
 // WireOptions extracts the wire form of o. The coordinator sends the
@@ -91,6 +95,7 @@ func WireOptions(o core.Options) Options {
 		FailureSizes:       o.FailureSizes,
 		MRAIs:              o.MRAIs,
 		RealisticMaxASSize: o.RealisticMaxASSize,
+		PrefixesPerOrigin:  o.PrefixesPerOrigin,
 	}
 }
 
@@ -103,6 +108,7 @@ func (o Options) Core() core.Options {
 		FailureSizes:       o.FailureSizes,
 		MRAIs:              o.MRAIs,
 		RealisticMaxASSize: o.RealisticMaxASSize,
+		PrefixesPerOrigin:  o.PrefixesPerOrigin,
 	}
 }
 

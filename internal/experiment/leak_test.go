@@ -1,0 +1,135 @@
+package experiment
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"bgpsim/internal/bgp"
+	"bgpsim/internal/des"
+	"bgpsim/internal/mrai"
+	"bgpsim/internal/topology"
+)
+
+// These tests pin the two reuse-layer leak fixes: the simulator pool
+// must not retain map entries (and through them whole topologies) for
+// networks whose simulators have all been taken, and the topology memo
+// must not let failed builds consume cap slots or poison their key.
+
+func leakTestSim(t *testing.T, nw *topology.Network) *bgp.Simulator {
+	t.Helper()
+	p := bgp.DefaultParams()
+	p.MRAI = mrai.Constant(500 * time.Millisecond)
+	sim, err := bgp.New(nw, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+// TestSimPoolTakeReleasesEmptyKeys pins that draining a network's pooled
+// simulators removes its byNet entry: a pool cycled through many
+// distinct networks (seed-cycling benches, cache-overflow sweeps) must
+// return to zero retained keys, not pin every network it ever saw.
+func TestSimPoolTakeReleasesEmptyKeys(t *testing.T) {
+	pool := newSimPool()
+	const worlds = 5
+	nets := make([]*topology.Network, worlds)
+	for i := range nets {
+		nw, err := topology.SkewedNetwork(topology.Skewed7030(20), des.NewRNG(int64(100+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nets[i] = nw
+		pool.put(nw, leakTestSim(t, nw))
+		pool.put(nw, leakTestSim(t, nw))
+	}
+	if got := len(pool.byNet); got != worlds {
+		t.Fatalf("byNet has %d keys after puts, want %d", got, worlds)
+	}
+	for _, nw := range nets {
+		for pool.take(nw) != nil {
+		}
+	}
+	if got := len(pool.byNet); got != 0 {
+		t.Errorf("byNet retains %d keys after all simulators were taken, want 0", got)
+	}
+	if pool.n != 0 {
+		t.Errorf("pool count %d after draining, want 0", pool.n)
+	}
+	// The drained pool must still work: put/take round-trips again.
+	sim := leakTestSim(t, nets[0])
+	pool.put(nets[0], sim)
+	if got := pool.take(nets[0]); got != sim {
+		t.Errorf("drained pool did not serve a re-pooled simulator")
+	}
+	if got := len(pool.byNet); got != 0 {
+		t.Errorf("byNet retains %d keys after final take, want 0", got)
+	}
+}
+
+// TestTopoCacheFailedBuildEvicted pins that a failing Spec.Build does
+// not stay cached: the error entry is evicted, so the key can succeed
+// later and the failure never consumes one of the topoCacheCap slots.
+func TestTopoCacheFailedBuildEvicted(t *testing.T) {
+	c := &topoCache{entries: make(map[topoKey]*topoEntry)}
+	bad := topology.Spec{Kind: "no-such-family", N: 10}
+	// Far more failing keys than the cap: if error entries counted, the
+	// cache would be irreversibly full before the good build below.
+	for seed := int64(0); seed < topoCacheCap+8; seed++ {
+		if _, err := c.build(bad, seed, topoStream(seed)); err == nil {
+			t.Fatal("bad spec built successfully")
+		}
+	}
+	if got := c.len(); got != 0 {
+		t.Fatalf("cache holds %d entries after failed builds, want 0", got)
+	}
+	good := topology.Spec{Kind: topology.KindSkewed7030, N: 20}
+	nw, err := c.build(good, 1, topoStream(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw == nil || c.len() != 1 {
+		t.Fatalf("good build after failures: net=%v entries=%d, want cached", nw, c.len())
+	}
+	// The same failing key must be retryable (not poisoned by a cached
+	// error) — with this spec it deterministically fails again, but each
+	// attempt re-runs the build rather than replaying a stale error.
+	if _, err := c.build(bad, 1, topoStream(1)); err == nil {
+		t.Fatal("bad spec built successfully on retry")
+	}
+	if got := c.len(); got != 1 {
+		t.Errorf("cache holds %d entries, want only the good build", got)
+	}
+}
+
+// TestTopoCacheFailedBuildConcurrent hammers one failing key and one
+// good key from many goroutines under -race: concurrent losers of the
+// once gate share the error, eviction races stay correct, and the cap
+// accounting ends with exactly the successful build cached.
+func TestTopoCacheFailedBuildConcurrent(t *testing.T) {
+	c := &topoCache{entries: make(map[topoKey]*topoEntry)}
+	bad := topology.Spec{Kind: "no-such-family", N: 10}
+	good := topology.Spec{Kind: topology.KindSkewed7030, N: 20}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if _, err := c.build(bad, 7, topoStream(7)); err == nil {
+					t.Error("bad spec built successfully")
+					return
+				}
+				if _, err := c.build(good, 7, topoStream(7)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := c.len(); got != 1 {
+		t.Errorf("cache holds %d entries after concurrent churn, want 1 (the good build)", got)
+	}
+}

@@ -159,6 +159,12 @@ func runScenario(ctx context.Context, sc Scenario, pool *simPool) (Result, error
 		params = *sc.Base
 	}
 	params.Seed = root.Split("sim").Int63()
+	// The topology spec's prefix dimension maps onto the simulator's
+	// table-size knob before the scheme runs, so a scheme (or ablation)
+	// can still override it deliberately.
+	if sc.Topology.PrefixesPerOrigin > 0 {
+		params.PrefixesPerAS = sc.Topology.PrefixesPerOrigin
+	}
 	if sc.Scheme.Apply != nil {
 		sc.Scheme.Apply(&params)
 	}

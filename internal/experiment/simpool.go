@@ -47,7 +47,16 @@ func (p *simPool) take(net *topology.Network) *bgp.Simulator {
 	}
 	sim := list[len(list)-1]
 	list[len(list)-1] = nil
-	p.byNet[net] = list[:len(list)-1]
+	if len(list) == 1 {
+		// Last pooled simulator for this network: drop the key too.
+		// Leaving a zero-length slice behind would pin the *Network (and
+		// its map entry) for the pool's lifetime — one entry per distinct
+		// network ever pooled, which seed-cycling sweeps turn into an
+		// unbounded leak.
+		delete(p.byNet, net)
+	} else {
+		p.byNet[net] = list[:len(list)-1]
+	}
 	p.n--
 	return sim
 }

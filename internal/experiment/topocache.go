@@ -51,6 +51,14 @@ var sharedTopoCache = &topoCache{entries: make(map[topoKey]*topoEntry)}
 // once per key. rng must be the topology stream derived from seed (the
 // caller keeps the Split call so sibling streams are unaffected by cache
 // hits); it is consumed only when this call performs the build.
+//
+// Failed builds do not stay cached: the error entry is evicted under the
+// lock as soon as once.Do completes, so a failing spec neither poisons
+// later requests for the same key (a transient failure may succeed on
+// retry) nor permanently consumes one of the topoCacheCap slots. The cap
+// check below does count in-flight entries — but with eviction those are
+// only ever builds that will either succeed (a legitimate occupant) or
+// fail and release the slot.
 func (c *topoCache) build(spec topology.Spec, seed int64, rng *des.RNG) (*topology.Network, error) {
 	js, err := json.Marshal(spec)
 	if err != nil {
@@ -72,6 +80,15 @@ func (c *topoCache) build(spec topology.Spec, seed int64, rng *des.RNG) (*topolo
 	e.once.Do(func() {
 		e.net, e.err = spec.Build(rng)
 	})
+	if e.err != nil {
+		c.mu.Lock()
+		// Only evict our own entry: a concurrent evict-then-rebuild may
+		// already have installed a fresh entry under the same key.
+		if c.entries[key] == e {
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+	}
 	return e.net, e.err
 }
 

@@ -52,6 +52,14 @@ type Spec struct {
 	MaxASSize int     `json:"maxASSize,omitempty"`
 	MinASSize int     `json:"minASSize,omitempty"`
 	SizeAlpha float64 `json:"sizeAlpha,omitempty"`
+	// PrefixesPerOrigin is the number of destination prefixes each AS
+	// originates (0 = family default of 1). It does not change the
+	// generated graph — Build ignores it — but rides on the spec so the
+	// scenario layer can scale the routing-table dimension of a run the
+	// same way the other knobs scale the topology, and so distributed
+	// workers reconstruct identical multi-prefix scenarios from the spec
+	// alone.
+	PrefixesPerOrigin int `json:"prefixesPerOrigin,omitempty"`
 	// Custom skewed spec; used when Kind is empty and Skewed is non-nil.
 	Skewed *SkewedSpec `json:"skewed,omitempty"`
 }
