@@ -80,6 +80,7 @@ func run(args []string, out *os.File) error {
 		tolerance = fs.Float64("tolerance", 1.10, "with -check: allowed allocs/op ratio over baseline")
 		fullScan  = fs.Bool("fullscan", false, "disable the incremental decision process (pre-PR-5 baseline mode)")
 		prefixes  = fs.Int("prefixes", 0, "override ConvergeMultiPrefix's prefixes-per-AS dimension (0 = suite default)")
+		shards    = fs.Int("shards", 0, "override ConvergeLargeScaleSharded's shard count (0 = suite default)")
 	)
 	var prof profiling.Config
 	prof.AddFlags(fs)
@@ -89,6 +90,9 @@ func run(args []string, out *os.File) error {
 	bgp.ForceFullScanDefault = *fullScan
 	if *prefixes > 0 {
 		bench.MultiPrefixCount = *prefixes
+	}
+	if *shards > 0 {
+		bench.ShardCount = *shards
 	}
 
 	if *list {

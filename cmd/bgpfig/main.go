@@ -61,6 +61,8 @@ func run(args []string) error {
 		maxAS    = fs.Int("max-as-size", 0, "override fig13's routers-per-AS cap (paper: 100)")
 		prefixes = fs.Int("prefixes", 0, "prefixes originated per AS (0 or 1 = the paper's single prefix; 1 must reproduce recorded figures byte-identically)")
 		workers  = fs.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS, 1 = serial; same bytes either way)")
+		shards   = fs.Int("shards", 0, "event-loop shards per simulation (0 or 1 = single engine; >= 2 must reproduce recorded figures byte-identically)")
+		shardCC  = fs.Bool("shard-concurrent", false, "with -shards: run shards on concurrent goroutines (deterministic per seed+shards, but NOT byte-identical to recorded figures)")
 		outDir   = fs.String("o", "", "also write each figure to <dir>/<id>.txt")
 		asJSON   = fs.Bool("json", false, "with -o: additionally write <id>.json for plotting tools")
 		quiet    = fs.Bool("q", false, "suppress progress output")
@@ -121,6 +123,10 @@ func run(args []string) error {
 	}
 	if *prefixes > 0 {
 		opts.PrefixesPerOrigin = *prefixes
+	}
+	if *shards > 0 {
+		opts.Shards = *shards
+		opts.ShardConcurrent = *shardCC
 	}
 	opts.Workers = *workers
 

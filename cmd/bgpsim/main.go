@@ -46,6 +46,8 @@ func run(args []string, out *os.File) error {
 		seed     = fs.Int64("seed", 1, "base seed")
 		prefixes = fs.Int("prefixes", 1, "prefixes originated per AS")
 		policy   = fs.Bool("policy", false, "enable Gao-Rexford policies (hierarchical relationships)")
+		shards   = fs.Int("shards", 0, "event-loop shards per simulation (0 or 1 = single engine; >= 2 is byte-identical in the default sequenced mode)")
+		shardCC  = fs.Bool("shard-concurrent", false, "with -shards: run shards on concurrent goroutines (own determinism class)")
 	)
 	var prof profiling.Config
 	prof.AddFlags(fs)
@@ -65,6 +67,8 @@ func run(args []string, out *os.File) error {
 		Failure:            bgpsim.GeographicFailure(*failPct / 100),
 		Scheme:             sch,
 		PolicyHierarchical: *policy,
+		Shards:             *shards,
+		ShardConcurrent:    *shardCC,
 		Seed:               *seed,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -104,6 +104,7 @@ func Suite() []Entry {
 			// worlds and the entry measures the simulation, not generation.
 			scenarioSeedCycle(b, bgpsim.LargeScale500(), 4)
 		}},
+		{"ConvergeLargeScaleSharded", convergeLargeScaleSharded},
 		{"ConvergeMultiPrefix", convergeMultiPrefix},
 		{"ConvergeAndFailFIFOReset", convergeAndFailReset},
 		{"TopologyCacheHit", topologyCacheHit},
@@ -181,6 +182,23 @@ func scenarioSeedCycle(b *testing.B, sc bgpsim.Scenario, worlds int) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// ShardCount is the shard dimension of the ConvergeLargeScaleSharded
+// entry (cmd/bgpbench -shards overrides it). The entry runs in
+// sequenced mode, so its results are byte-identical to
+// ConvergeLargeScale; what it measures is the overhead the sharded
+// driver adds per event — partitioning, barrier accounting, and
+// cross-shard buffering — which is the cost floor under the concurrent
+// mode's speedup.
+var ShardCount = 4
+
+// convergeLargeScaleSharded is the sharded twin of ConvergeLargeScale:
+// the same 500-AS scenario through ShardCount sequenced shards.
+func convergeLargeScaleSharded(b *testing.B) {
+	sc := bgpsim.LargeScale500()
+	sc.Shards = ShardCount
+	scenarioSeedCycle(b, sc, 4)
 }
 
 // MultiPrefixCount is the prefix dimension of the ConvergeMultiPrefix

@@ -148,7 +148,7 @@ func (d *damper) reuseDelay(e *dampEntry) time.Duration {
 // reuse event that will lift suppression.
 func (r *router) penalize(dest ASN, from NodeID) bool {
 	d := r.damper
-	now := r.sim.eng.Now()
+	now := r.now()
 	e := d.entry(dest, from)
 	e.decay(now, d.cfg)
 	e.penalty += d.cfg.Penalty
@@ -161,9 +161,9 @@ func (r *router) penalize(dest ASN, from NodeID) bool {
 	justSuppressed := !e.suppressed
 	e.suppressed = true
 	// (Re-)arm the reuse check for the new, larger penalty.
-	r.sim.eng.Cancel(e.reuseEv)
+	r.eng.Cancel(e.reuseEv)
 	delay := d.reuseDelay(e)
-	e.reuseEv = r.sim.eng.Schedule(delay, func() { r.reuseCheck(dest, from) })
+	e.reuseEv = r.eng.ScheduleAt(now+delay, func() { r.reuseCheck(dest, from) })
 	return justSuppressed
 }
 
@@ -178,14 +178,14 @@ func (r *router) reuseCheck(dest ASN, from NodeID) {
 	if !e.suppressed {
 		return
 	}
-	now := r.sim.eng.Now()
+	now := r.now()
 	e.decay(now, r.damper.cfg)
 	// The epsilon absorbs floating-point residue from the decay; without
 	// it a penalty equal to the threshold up to rounding would re-arm
 	// indefinitely.
 	if e.penalty > r.damper.cfg.ReuseThreshold*(1+1e-9) {
 		// Not yet (extra penalties arrived); re-arm.
-		e.reuseEv = r.sim.eng.Schedule(r.damper.reuseDelay(e), func() { r.reuseCheck(dest, from) })
+		e.reuseEv = r.eng.ScheduleAt(now+r.damper.reuseDelay(e), func() { r.reuseCheck(dest, from) })
 		return
 	}
 	e.suppressed = false

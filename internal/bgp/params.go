@@ -134,6 +134,24 @@ type Params struct {
 	// winner cannot be trusted without a rescan).
 	ForceFullScan bool
 
+	// Shards partitions the routers across this many event loops
+	// synchronized by conservative lookahead barriers (see des.Group and
+	// ARCHITECTURE.md "Sharded engine"). 0 or 1 (the default) runs the
+	// classic single-engine path, byte-for-byte unchanged. K >= 2 runs
+	// sharded: by default in sequenced mode, whose output is provably
+	// byte-identical to the single engine; with ShardConcurrent in
+	// goroutine-per-shard mode, which scales with physical cores but is
+	// deterministic only per (Seed, Shards, partition). Shard counts
+	// above the router count are clamped; topologies whose cut links
+	// would give no positive lookahead fall back to the single engine.
+	Shards int
+	// ShardConcurrent selects the concurrent sharded mode (real
+	// parallelism, its own determinism class) instead of the sequenced
+	// mode. Requires Shards >= 2 to have any effect and is incompatible
+	// with Tracer: trace event order is only meaningful under a single
+	// serial schedule.
+	ShardConcurrent bool
+
 	// Seed drives every random draw in the simulation (processing delays,
 	// jitter, origination stagger).
 	Seed int64
@@ -191,6 +209,10 @@ func (p Params) Validate() error {
 		return fmt.Errorf("bgp: negative flap gate")
 	case p.PrefixesPerAS < 0:
 		return fmt.Errorf("bgp: negative prefixes per AS")
+	case p.Shards < 0:
+		return fmt.Errorf("bgp: negative shard count")
+	case p.ShardConcurrent && p.Tracer != nil:
+		return fmt.Errorf("bgp: tracing requires a serial event order; disable ShardConcurrent")
 	}
 	if p.Damping != nil {
 		if err := p.Damping.Validate(); err != nil {

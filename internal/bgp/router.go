@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"bgpsim/internal/des"
+	"bgpsim/internal/metrics"
 	"bgpsim/internal/mrai"
 	"bgpsim/internal/topology"
 	"bgpsim/internal/trace"
@@ -30,6 +31,22 @@ type router struct {
 	as    ASN
 	alive bool
 	sim   *Simulator
+
+	// Execution-context indirection, rebound by Simulator.Reset. In the
+	// single-engine mode all of these alias the Simulator's own fields;
+	// in sharded mode eng is the router's shard engine and — in
+	// concurrent mode — col/rng/tab are the shard-local collector,
+	// random stream, and path table (per the sharding contract: shard
+	// handlers touch only shard-local mutable state). grp is set only in
+	// sequenced sharded mode, where the current simulated time lives on
+	// the group driver rather than the (lagging) shard engine clock; see
+	// now.
+	shard int
+	eng   *des.Engine
+	grp   *des.Group
+	col   *metrics.Collector
+	rng   *des.RNG
+	tab   *pathTab
 
 	peers     []Peer
 	peerAlive []bool
@@ -103,6 +120,20 @@ type router struct {
 	bestSlot    []int16
 	workSlot    []int16
 	scanNeeded  bitset
+}
+
+// now returns the current simulated time from the router's execution
+// context: the group clock in sequenced sharded mode (the shard engine
+// clocks lag the driver there), the engine clock otherwise — which in
+// concurrent mode is the shard's in-epoch clock, synchronized to the
+// barrier time whenever control events run. Every time read and every
+// relative delay computation in the router goes through here, so the
+// three modes share one code path.
+func (r *router) now() des.Time {
+	if r.grp != nil {
+		return r.grp.Now()
+	}
+	return r.eng.Now()
 }
 
 // bestSlot sentinel values (real peer slots are >= 0).
@@ -249,7 +280,7 @@ func (r *router) locEntryAt(dest ASN) (locEntry, bool) {
 	if !ok {
 		return locEntry{}, false
 	}
-	e := locEntry{path: r.sim.tab.path(ref), ref: ref, from: -1}
+	e := locEntry{path: r.tab.path(ref), ref: ref, from: -1}
 	if bs := r.bestSlot[dest]; bs >= 0 {
 		p := &r.peers[bs]
 		e.from, e.fromInternal = p.Node, p.Internal
@@ -260,7 +291,7 @@ func (r *router) locEntryAt(dest ASN) (locEntry, bool) {
 // originate installs a locally originated prefix and advertises it.
 func (r *router) originate(dest ASN) {
 	r.originates.set(dest)
-	r.loc.set(dest, r.sim.tab.emptyRef)
+	r.loc.set(dest, r.tab.emptyRef)
 	r.bestSlot[dest] = bestSelf
 	r.markPendingAll(dest)
 	r.flushAll()
@@ -305,9 +336,9 @@ func (r *router) enqueue(u Update) {
 	}
 	r.inbox.Push(u)
 	r.msgsSinceSnap++
-	r.sim.col.NoteQueueLen(r.inbox.Len())
+	r.col.NoteQueueLen(r.inbox.Len())
 	r.sim.emit(trace.Event{
-		At: r.sim.eng.Now(), Kind: trace.KindReceive, Node: r.id,
+		At: r.now(), Kind: trace.KindReceive, Node: r.id,
 		Peer: u.From, Dest: u.Dest, Withdrawal: u.IsWithdrawal(),
 	})
 	if !r.busy {
@@ -336,7 +367,7 @@ func (r *router) startProcessing() {
 				has := stored != 0
 				noop := u.IsWithdrawal() && !has ||
 					!u.IsWithdrawal() && has &&
-						(stored == u.Ref || pathsEqual(r.sim.tab.path(stored), u.Path))
+						(stored == u.Ref || pathsEqual(r.tab.path(stored), u.Path))
 				if noop {
 					discarded++
 					continue
@@ -346,7 +377,7 @@ func (r *router) startProcessing() {
 			batch = kept
 		}
 		if discarded > 0 {
-			r.sim.col.NoteDiscarded(discarded)
+			r.col.NoteDiscarded(discarded)
 		}
 		if len(batch) == 0 {
 			r.inbox.Recycle(batch)
@@ -354,12 +385,12 @@ func (r *router) startProcessing() {
 		}
 		var delay time.Duration
 		for range batch {
-			delay += r.sim.rng.UniformDuration(r.sim.params.ProcMin, r.sim.params.ProcMax)
+			delay += r.rng.UniformDuration(r.sim.params.ProcMin, r.sim.params.ProcMax)
 		}
 		r.busy = true
-		r.busyStart = r.sim.eng.Now()
+		r.busyStart = r.now()
 		r.proc.batch = batch
-		r.sim.eng.ScheduleRunner(delay, &r.proc)
+		r.eng.ScheduleRunnerAt(r.busyStart+delay, &r.proc)
 		return
 	}
 }
@@ -374,10 +405,10 @@ func (r *router) finishProcessing(batch []Update) {
 	if !r.alive {
 		return
 	}
-	now := r.sim.eng.Now()
+	now := r.now()
 	r.busyAccum += now - r.busyStart
 	r.busy = false
-	r.sim.col.NoteProcessed(now, len(batch))
+	r.col.NoteProcessed(now, len(batch))
 	r.sim.emit(trace.Event{
 		At: now, Kind: trace.KindProcess, Node: r.id,
 		Peer: -1, Dest: -1, Value: len(batch),
@@ -397,12 +428,12 @@ func (r *router) finishProcessing(batch []Update) {
 			if ref == 0 {
 				// Foreign update (hand-built outside the simulator):
 				// intern its path on arrival.
-				ref = r.sim.tab.intern(u.Path)
+				ref = r.tab.intern(u.Path)
 			}
 			// Receiver-side loop detection: the clear mask bit proves the
 			// local AS is absent, skipping the path scan for almost every
 			// update.
-			if r.sim.tab.mask(ref)&(1<<(uint(r.as)&63)) != 0 {
+			if r.tab.mask(ref)&(1<<(uint(r.as)&63)) != 0 {
 				looped = pathContains(u.Path, r.as)
 			}
 		}
@@ -425,7 +456,7 @@ func (r *router) finishProcessing(batch []Update) {
 		} else {
 			prev := r.adjIn.getSlotRef(slot, u.Dest)
 			flapped = prev != 0 &&
-				!(prev == ref || pathsEqual(r.sim.tab.path(prev), u.Path))
+				!(prev == ref || pathsEqual(r.tab.path(prev), u.Path))
 			r.adjIn.setSlot(slot, u.Dest, ref)
 		}
 		if flapped && r.damper != nil {
@@ -521,7 +552,7 @@ func (r *router) classify(slot int, u Update, looped bool) {
 		r.scanNeeded.set(dest) // defensive: cache out of sync, rescan
 		return
 	}
-	wpath := r.sim.tab.path(wref)
+	wpath := r.tab.path(wref)
 	if int(ws) == slot {
 		// Re-announcement on the winning slot itself: same peer, so only
 		// the path ranking can move. A strictly worse replacement forces
@@ -564,7 +595,7 @@ func (r *router) applyWorkingBest(dest ASN) bool {
 		return r.runDecision(dest) // defensive: cache out of sync, rescan
 	}
 	peer := r.peers[ws]
-	best := locEntry{path: r.sim.tab.path(ref), ref: ref, from: peer.Node, fromInternal: peer.Internal}
+	best := locEntry{path: r.tab.path(ref), ref: ref, from: peer.Node, fromInternal: peer.Internal}
 	return r.commitDecision(dest, old, hadOld, best, int(ws), true)
 }
 
@@ -592,13 +623,13 @@ func (r *router) commitDecision(dest ASN, old locEntry, hadOld bool, best locEnt
 		if r.flapCount != nil && r.flapCount[dest] != math.MaxInt16 {
 			r.flapCount[dest]++
 		}
-		r.sim.col.NoteRouteChange(r.sim.eng.Now())
+		r.col.NoteRouteChange(r.now())
 		pathLen := -1
 		if ok {
 			pathLen = len(best.path)
 		}
 		r.sim.emit(trace.Event{
-			At: r.sim.eng.Now(), Kind: trace.KindRouteChange, Node: r.id,
+			At: r.now(), Kind: trace.KindRouteChange, Node: r.id,
 			Peer: -1, Dest: dest, Value: pathLen,
 		})
 	}
@@ -610,7 +641,7 @@ func (r *router) commitDecision(dest ASN, old locEntry, hadOld bool, best locEnt
 // markPendingAll queues dest for re-advertisement to every live peer and
 // applies the Deshpande–Sikdar timer cancellation when configured.
 func (r *router) markPendingAll(dest ASN) {
-	now := r.sim.eng.Now()
+	now := r.now()
 	valid := r.loc.has.has(dest)
 	for slot := range r.peers {
 		if !r.peerAlive[slot] {
@@ -645,7 +676,7 @@ func (r *router) tryFlush(slot int) {
 	if !pend.any() {
 		return
 	}
-	now := r.sim.eng.Now()
+	now := r.now()
 	dests := pend.appendIndices(r.destsScratch[:0])
 	r.destsScratch = dests
 
@@ -669,7 +700,7 @@ func (r *router) tryFlush(slot int) {
 		// (interning is an acceleration, not an identity oracle).
 		lastRef := adv.get(dest)
 		if desiredRef == lastRef ||
-			(desiredRef != 0 && lastRef != 0 && pathsEqual(desired, r.sim.tab.path(lastRef))) {
+			(desiredRef != 0 && lastRef != 0 && pathsEqual(desired, r.tab.path(lastRef))) {
 			pend.clear(dest)
 			continue
 		}
@@ -713,7 +744,7 @@ func (r *router) tryFlush(slot int) {
 		r.nextSend[slot] = now + r.nextMRAI(now)
 	}
 	if sentAny {
-		r.sim.col.NotePacket(now)
+		r.col.NotePacket(now)
 	}
 	if pend.any() {
 		if r.destGate == nil {
@@ -729,7 +760,7 @@ func (r *router) destAllowed(slot int, dest ASN, peerAllowed bool) bool {
 	if r.destGate == nil {
 		return peerAllowed
 	}
-	return r.sim.eng.Now() >= r.destGate[slot][dest]
+	return r.now() >= r.destGate[slot][dest]
 }
 
 // gateTime returns when the announcement gate for (slot, dest) opens.
@@ -750,7 +781,7 @@ func (r *router) nextMRAI(now des.Time) time.Duration {
 		Peer: -1, Dest: -1, Value: int(m),
 	})
 	if r.sim.params.JitterTimers {
-		return r.sim.rng.Jitter(m)
+		return r.rng.Jitter(m)
 	}
 	return m
 }
@@ -760,7 +791,7 @@ func (r *router) scheduleFlush(slot int, at des.Time) {
 	if at < 0 {
 		return
 	}
-	now := r.sim.eng.Now()
+	now := r.now()
 	if at < now {
 		at = now
 	}
@@ -768,16 +799,16 @@ func (r *router) scheduleFlush(slot int, at des.Time) {
 		if ev.At() <= at {
 			return
 		}
-		r.sim.eng.Cancel(ev)
+		r.eng.Cancel(ev)
 	}
-	r.flushEv[slot] = r.sim.eng.ScheduleRunnerAt(at, &r.flushTasks[slot])
+	r.flushEv[slot] = r.eng.ScheduleRunnerAt(at, &r.flushTasks[slot])
 }
 
 // send transmits one route-level update to the slot's peer.
 func (r *router) send(slot int, u Update) {
 	peer := r.peers[slot]
-	now := r.sim.eng.Now()
-	r.sim.col.NoteSend(now, r.id, u.IsWithdrawal())
+	now := r.now()
+	r.col.NoteSend(now, r.id, u.IsWithdrawal())
 	r.sim.emit(trace.Event{
 		At: now, Kind: trace.KindSend, Node: r.id,
 		Peer: peer.Node, Dest: u.Dest, Withdrawal: u.IsWithdrawal(),
@@ -827,7 +858,7 @@ func (r *router) desiredAdvert(dest ASN, slot int) (Path, routeRef) {
 			}
 		}
 	}
-	tab := &r.sim.tab
+	tab := r.tab
 	if peer.Internal {
 		return tab.path(ref), ref
 	}
@@ -853,7 +884,7 @@ func (r *router) desiredAdvert(dest ASN, slot int) (Path, routeRef) {
 func (r *router) kill() {
 	r.alive = false
 	for slot, ev := range r.flushEv {
-		r.sim.eng.Cancel(ev)
+		r.eng.Cancel(ev)
 		r.flushEv[slot] = nil
 	}
 }
@@ -879,14 +910,14 @@ func (r *router) revive() {
 		r.damper = newDamper(r.sim.params.Damping)
 	}
 	r.busyAccum, r.lastSnapBusy = 0, 0
-	r.busyStart, r.lastSnapTime = r.sim.eng.Now(), r.sim.eng.Now()
+	r.busyStart, r.lastSnapTime = r.now(), r.now()
 	r.msgsSinceSnap = 0
 	for slot := range r.peers {
 		r.peerAlive[slot] = false
 		r.advertised[slot].reset()
 		r.pending[slot].clearAll()
 		r.nextSend[slot] = 0
-		r.sim.eng.Cancel(r.flushEv[slot])
+		r.eng.Cancel(r.flushEv[slot])
 		r.flushEv[slot] = nil
 		if r.destGate != nil {
 			gates := r.destGate[slot]
@@ -923,12 +954,12 @@ func (r *router) peerDown(slot int) {
 	peer := r.peers[slot]
 	r.peerAlive[slot] = false
 	r.sim.emit(trace.Event{
-		At: r.sim.eng.Now(), Kind: trace.KindSessionDown, Node: r.id,
+		At: r.now(), Kind: trace.KindSessionDown, Node: r.id,
 		Peer: peer.Node, Dest: -1,
 	})
 	r.pending[slot].clearAll()
 	r.advertised[slot].reset()
-	r.sim.eng.Cancel(r.flushEv[slot])
+	r.eng.Cancel(r.flushEv[slot])
 	r.flushEv[slot] = nil
 
 	affected := r.adjIn.destsViaSlot(slot, r.affectedScratch[:0])

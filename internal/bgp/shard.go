@@ -1,0 +1,192 @@
+package bgp
+
+import (
+	"sort"
+	"strconv"
+
+	"bgpsim/internal/des"
+	"bgpsim/internal/metrics"
+	"bgpsim/internal/topology"
+)
+
+// shardRuntime is the Simulator's sharded execution state: the engine
+// group, the node→shard assignment from the topology partitioner, the
+// per-epoch cross-shard message buffers, and — in concurrent mode — the
+// shard-local collectors, random streams, and path tables the sharding
+// contract requires (DESIGN.md "Sharding and lookahead contract").
+//
+// Cross-shard deliveries never go straight onto the destination engine.
+// The sender appends an xmsg to its own shard's buffer (race-free: one
+// writer per buffer) and the group's drain hook moves the buffers into
+// destination queues at each lookahead barrier:
+//
+//   - Sequenced mode reserves the message's global sequence number from
+//     the shared counter at send time — the very draw the single-engine
+//     run would have made — and the barrier insertion (PostForeign)
+//     files it under that key, so the merged schedule is the serial
+//     schedule. No sorting is needed; the (at, seq) key is the order.
+//
+//   - Concurrent mode stamps a per-source-shard counter instead, and
+//     drain sorts all buffered messages by (arrival, send time, source
+//     shard, counter) — a total order that does not depend on goroutine
+//     timing — before scheduling them, so destination-side sequence
+//     numbers are assigned deterministically.
+type shardRuntime struct {
+	g      *des.Group
+	assign []int // node id -> shard
+	cut    int   // cut links under assign (diagnostics)
+
+	// Concurrent-mode shard-local state; nil slices in sequenced mode,
+	// where every router aliases the Simulator's own col/rng/tab.
+	cols []*metrics.Collector
+	rngs []*des.RNG
+	tabs []*pathTab
+
+	out    [][]xmsg // cross-shard buffers, indexed by source shard
+	outSeq []uint64 // concurrent mode: per-source-shard send counters
+	pools  []deliveryPool
+	all    []xmsg // drain scratch for the concurrent-mode sort
+}
+
+// xmsg is one buffered cross-shard update delivery.
+type xmsg struct {
+	from, to *router
+	at       des.Time // arrival time (send + link delay)
+	sendAt   des.Time // send time, part of the concurrent sort key
+	src      int      // source shard, part of the concurrent sort key
+	seq      uint64   // reserved global seq (sequenced) / source counter
+	u        Update
+}
+
+// newShardRuntime builds the sharded execution state for k shards over
+// the given node→shard assignment (computed once per (network, k) and
+// reused across Reset).
+func newShardRuntime(s *Simulator, k int, look des.Time, sequenced bool, assign []int) *shardRuntime {
+	sh := &shardRuntime{
+		g:      des.NewGroup(k, look, sequenced),
+		assign: assign,
+		out:    make([][]xmsg, k),
+		outSeq: make([]uint64, k),
+		pools:  make([]deliveryPool, k),
+	}
+	sh.cut = topology.CutEdges(s.net, sh.assign)
+	if !sequenced {
+		sh.cols = make([]*metrics.Collector, k)
+		sh.tabs = make([]*pathTab, k)
+		sh.rngs = make([]*des.RNG, k)
+		for i := 0; i < k; i++ {
+			sh.cols[i] = metrics.NewCollector(s.net.NumNodes())
+			sh.tabs[i] = &pathTab{}
+		}
+	}
+	return sh
+}
+
+// reset rewinds the runtime for a new trial: engines, buffers, and (in
+// concurrent mode) the shard-local collectors and path tables. The
+// shard random streams are re-split from the trial's master RNG, which
+// must be freshly seeded.
+func (sh *shardRuntime) reset(master *des.RNG) {
+	sh.g.Reset()
+	sh.g.SetDrain(sh.drain)
+	for i := range sh.out {
+		sh.out[i] = sh.out[i][:0]
+		sh.outSeq[i] = 0
+	}
+	for i := range sh.cols {
+		sh.cols[i].Reset()
+		sh.tabs[i].reset()
+		sh.rngs[i] = master.Split("shard" + strconv.Itoa(i))
+	}
+}
+
+// lookahead returns the conservative lookahead for the partition: the
+// minimum link delay over cut links — the soonest any cross-shard
+// message can arrive after being sent. A partition with no cut links
+// gets the external link delay as a plain epoch granularity. Returns 0
+// (meaning "sharding unavailable") when some cut link has a
+// non-positive delay.
+func shardLookahead(net *topology.Network, assign []int, p Params) des.Time {
+	look := des.Time(0)
+	for _, l := range net.Links() {
+		if assign[l.A] == assign[l.B] {
+			continue
+		}
+		d := p.ExtDelay
+		if l.Internal {
+			d = p.IntDelay
+		}
+		if d <= 0 {
+			return 0
+		}
+		if look == 0 || d < look {
+			look = d
+		}
+	}
+	if look == 0 {
+		look = p.ExtDelay
+	}
+	return look
+}
+
+// post buffers one cross-shard delivery. Called from the sending
+// router's execution context: the sequenced driver, a concurrent shard
+// goroutine (writing only its own shard's buffer), or a control handler
+// at a barrier.
+func (sh *shardRuntime) post(from, to *router, at des.Time, u Update) {
+	m := xmsg{from: from, to: to, at: at, sendAt: from.now(), src: from.shard, u: u}
+	if sh.g.Sequenced() {
+		m.seq = sh.g.ReserveSeq()
+	} else {
+		sh.outSeq[from.shard]++
+		m.seq = sh.outSeq[from.shard]
+		// The ref points into the sender's shard-local path table; the
+		// receiver re-interns the (immutable, shared-memory) path into
+		// its own. Refs are pure acceleration, so this costs a lookup,
+		// never correctness.
+		m.u.Ref = 0
+	}
+	sh.out[from.shard] = append(sh.out[from.shard], m)
+}
+
+// drain is the group's barrier hook: it files every buffered message
+// into its destination shard's queue. All engines are paused here, so
+// touching any shard's engine and delivery pool is race-free.
+func (sh *shardRuntime) drain() {
+	if sh.g.Sequenced() {
+		for si := range sh.out {
+			for _, m := range sh.out[si] {
+				d := sh.pools[m.to.shard].take()
+				d.from, d.to, d.u = m.from, m.to, m.u
+				sh.g.PostForeign(m.to.shard, m.at, m.seq, d)
+			}
+			sh.out[si] = sh.out[si][:0]
+		}
+		return
+	}
+	all := sh.all[:0]
+	for si := range sh.out {
+		all = append(all, sh.out[si]...)
+		sh.out[si] = sh.out[si][:0]
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.sendAt != b.sendAt {
+			return a.sendAt < b.sendAt
+		}
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		return a.seq < b.seq
+	})
+	for i := range all {
+		m := &all[i]
+		d := sh.pools[m.to.shard].take()
+		d.from, d.to, d.u = m.from, m.to, m.u
+		sh.g.Shard(m.to.shard).ScheduleRunnerAt(m.at, d)
+	}
+	sh.all = all
+}

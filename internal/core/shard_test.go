@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestFigureBytesUnchangedBySequencedShards pins the contract the
+// sharded determinism CI job rests on: regenerating a figure with
+// Shards >= 2 in the default sequenced mode must reproduce the
+// unsharded figure byte-for-byte, and the explicit single-shard request
+// (Shards = 1) must normalize away entirely, mirroring the
+// PrefixesPerOrigin = 1 contract.
+func TestFigureBytesUnchangedBySequencedShards(t *testing.T) {
+	for _, id := range []string{"1", "3"} {
+		e, err := Lookup(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(id, func(t *testing.T) {
+			render := func(shards int) string {
+				opts := microOptions()
+				opts.Shards = shards
+				fig, err := e.Run(opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return fig.Render()
+			}
+			want := render(0)
+			for _, shards := range []int{1, 2, 4} {
+				if got := render(shards); got != want {
+					t.Errorf("fig%s: Shards=%d diverged from the single engine\nsingle:\n%s\nsharded:\n%s",
+						id, shards, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedFigureWorkerInvariant crosses the two parallelism axes: a
+// sharded sweep fanned over several sweep workers must still render the
+// single-worker bytes. This is also the test the CI -race run leans on
+// to exercise concurrent sweep workers each driving their own sharded
+// simulator groups.
+func TestShardedFigureWorkerInvariant(t *testing.T) {
+	e, err := Lookup("3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(workers int) string {
+		opts := microOptions()
+		opts.Shards = 4
+		opts.Workers = workers
+		fig, err := e.Run(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fig.Render()
+	}
+	want := render(1)
+	for _, workers := range []int{2, 4} {
+		if got := render(workers); got != want {
+			t.Errorf("workers=%d: sharded figure diverged from serial\nserial:\n%s\nparallel:\n%s",
+				workers, want, got)
+		}
+	}
+}
+
+// TestConcurrentShardedFigureReproducible pins the concurrent mode's
+// determinism class at the figure level: two runs with identical
+// options must render identical bytes even though they need not match
+// the recorded single-engine figures.
+func TestConcurrentShardedFigureReproducible(t *testing.T) {
+	e, err := Lookup("3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func() string {
+		opts := microOptions()
+		opts.Shards = 4
+		opts.ShardConcurrent = true
+		fig, err := e.Run(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fig.Render()
+	}
+	if a, b := render(), render(); a != b {
+		t.Errorf("two concurrent sharded runs diverged\nfirst:\n%s\nsecond:\n%s", a, b)
+	}
+}

@@ -82,6 +82,7 @@ func (e *Event) Canceled() bool { return e.stopped }
 type Engine struct {
 	now       Time
 	seq       uint64
+	seqSrc    *uint64 // shared sequence counter (sharded sequenced mode); nil = own seq
 	queue     calendarQueue
 	free      []*Event // recycled Event objects (see Event)
 	processed uint64
@@ -212,20 +213,38 @@ func (e *Engine) ScheduleRunnerAt(at Time, r Runner) *Event {
 
 // alloc takes an Event from the free list (or heap-allocates one), stamps
 // it with (at, next sequence number), and queues it. The handler fields are
-// left for the caller to fill in.
+// left for the caller to fill in. When a shared sequence source is
+// installed (sharded sequenced mode, see Group) the stamp is drawn from it,
+// so schedule calls across all engines of a group consume one global
+// sequence stream in call order — the property that makes the sequenced
+// sharded schedule reproduce the single-engine (at, seq) order exactly.
 func (e *Engine) alloc(at Time) *Event {
 	if at < e.now {
 		panic(fmt.Sprintf("des: schedule at %v before now %v", at, e.now))
 	}
-	e.seq++
+	var seq uint64
+	if e.seqSrc != nil {
+		*e.seqSrc++
+		seq = *e.seqSrc
+	} else {
+		e.seq++
+		seq = e.seq
+	}
+	return e.insert(at, seq)
+}
+
+// insert queues a recycled-or-new Event stamped (at, seq). It is the common
+// tail of alloc and the Group's foreign-insertion path, which re-queues a
+// cross-shard delivery under the sequence number reserved at send time.
+func (e *Engine) insert(at Time, seq uint64) *Event {
 	var ev *Event
 	if n := len(e.free); n > 0 {
 		ev = e.free[n-1]
 		e.free[n-1] = nil
 		e.free = e.free[:n-1]
-		*ev = Event{at: at, seq: e.seq}
+		*ev = Event{at: at, seq: seq}
 	} else {
-		ev = &Event{at: at, seq: e.seq}
+		ev = &Event{at: at, seq: seq}
 	}
 	e.queue.Push(ev)
 	return ev
@@ -307,4 +326,52 @@ func (e *Engine) RunUntil(deadline Time) error {
 		e.now = deadline
 	}
 	return nil
+}
+
+// RunBefore fires events with timestamps strictly before deadline, then
+// advances the clock to deadline. It is the per-shard epoch step of the
+// sharded engine (see Group): a shard may safely execute everything before
+// the epoch boundary because conservative lookahead guarantees no
+// cross-shard arrival lands inside the epoch, and the final clock advance
+// synchronizes the shard with the barrier so handlers run from the barrier
+// (control events, cross-shard insertions) observe a current clock.
+func (e *Engine) RunBefore(deadline Time) error {
+	start := e.processed
+	for e.queue.Len() > 0 {
+		next := e.queue.Peek()
+		if next.stopped {
+			e.recycle(e.queue.Pop())
+			continue
+		}
+		if next.at >= deadline {
+			break
+		}
+		if e.processed-start >= e.maxEvents {
+			return ErrHorizon
+		}
+		if e.cancel != nil && e.processed%cancelStride == 0 && e.cancel() {
+			return ErrCanceled
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return nil
+}
+
+// NextKey reports the (time, sequence) key of the engine's next live event,
+// draining any canceled events queued ahead of it. ok is false when the
+// queue holds no live events. The sharded drivers use it to find the global
+// minimum across engines without popping.
+func (e *Engine) NextKey() (at Time, seq uint64, ok bool) {
+	for e.queue.Len() > 0 {
+		ev := e.queue.Peek()
+		if ev.stopped {
+			e.recycle(e.queue.Pop())
+			continue
+		}
+		return ev.at, ev.seq, true
+	}
+	return 0, 0, false
 }

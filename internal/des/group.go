@@ -1,0 +1,380 @@
+package des
+
+import (
+	"math"
+	"sync"
+)
+
+// Group runs one simulation partitioned across K shard engines plus one
+// control engine, synchronized by conservative lookahead barriers.
+//
+// The model layer assigns each stateful entity (a router, in the BGP
+// model) to exactly one shard; all events that mutate an entity run on
+// its shard's engine. Events that mutate entities on several shards at
+// once (failures, recoveries — anything injected by the experiment
+// script rather than the model) go on the control engine, which only
+// ever runs at barriers, while every shard is paused. Work crossing
+// from one shard to another (a message delivery) must not be scheduled
+// directly on the destination engine; the model buffers it and hands it
+// over at a barrier through the drain hook (see SetDrain), using
+// PostForeign (sequenced mode) or plain scheduling on Shard(i)
+// (concurrent mode).
+//
+// The contract that makes barriers safe is lookahead: every cross-shard
+// interaction must take at least the group's lookahead L of simulated
+// time to land. An epoch spans [T, T+L) where T is the earliest pending
+// event across all engines; a message sent at s ∈ [T, T+L) arrives at
+// s+delay ≥ T+L, i.e. never inside the epoch that sent it, so draining
+// buffers only at epoch boundaries can never miss an arrival.
+//
+// A Group runs in one of two modes, chosen at construction:
+//
+//   - Sequenced (sequenced=true): all engines share one global sequence
+//     counter and a single driver goroutine interleaves them by always
+//     stepping the engine holding the globally smallest (time, seq) key.
+//     Because every Schedule call draws from the shared counter in
+//     execution order, and cross-shard deliveries reserve their sequence
+//     number at send time (ReserveSeq) and re-enter the destination
+//     queue under it (PostForeign), every event carries the identical
+//     (time, seq) stamp it would have in a single-engine run — so the
+//     execution order, and therefore all output, is byte-identical to
+//     the single-threaded engine. This mode validates the sharding
+//     protocol and measures its overhead; it adds no parallelism.
+//
+//   - Concurrent (sequenced=false): each epoch runs the K shard engines
+//     on their own goroutines (Engine.RunBefore the epoch boundary) and
+//     joins at the barrier. Output is deterministic for a fixed (seed,
+//     K, partition) — the model must give each shard independent random
+//     streams and mergeable observers — but is NOT byte-identical to
+//     the single-engine schedule, because events on different shards
+//     interleave by shard-local order rather than the global sequence.
+//     This is the mode that scales wall clock with physical cores.
+//
+// See ARCHITECTURE.md ("Sharded engine") for the full protocol and the
+// byte-identicality argument, and DESIGN.md for the model-facing
+// sharding contract.
+type Group struct {
+	shards    []*Engine
+	ctrl      *Engine
+	look      Time
+	sequenced bool
+	gseq      uint64 // shared sequence counter (sequenced mode)
+	now       Time   // driver clock: last executed event time / last barrier
+	drain     func()
+	cancel    func() bool // sequenced-driver probe; engines hold their own copy
+	maxEvents uint64
+	errs      []error        // per-shard results of a concurrent epoch
+	wg        sync.WaitGroup // concurrent epoch join
+}
+
+// NewGroup returns a group of k shard engines plus a control engine with
+// conservative lookahead look (> 0, typically the minimum cross-shard
+// link delay). k must be at least 1. sequenced selects the
+// byte-identical single-driver mode over the goroutine-per-shard mode;
+// see the Group documentation for the trade.
+func NewGroup(k int, look Time, sequenced bool) *Group {
+	if k < 1 {
+		panic("des: NewGroup needs at least one shard")
+	}
+	if look <= 0 {
+		panic("des: NewGroup needs positive lookahead")
+	}
+	g := &Group{
+		look:      look,
+		sequenced: sequenced,
+		maxEvents: DefaultMaxEvents,
+		shards:    make([]*Engine, k),
+		ctrl:      NewEngine(),
+		errs:      make([]error, k),
+	}
+	for i := range g.shards {
+		g.shards[i] = NewEngine()
+	}
+	if sequenced {
+		g.ctrl.seqSrc = &g.gseq
+		for _, e := range g.shards {
+			e.seqSrc = &g.gseq
+		}
+	}
+	return g
+}
+
+// NumShards returns the number of shard engines (excluding control).
+func (g *Group) NumShards() int { return len(g.shards) }
+
+// Shard returns shard engine i. The model schedules all single-entity
+// events for shard-i entities here.
+func (g *Group) Shard(i int) *Engine { return g.shards[i] }
+
+// Control returns the control engine. Events that touch entities on
+// more than one shard (failure/recovery injections) belong here; they
+// run with every shard paused at the event's time, so their handlers may
+// freely mutate any shard's entities and schedule on any shard's engine.
+func (g *Group) Control() *Engine { return g.ctrl }
+
+// Sequenced reports whether the group runs in sequenced
+// (byte-identical) mode.
+func (g *Group) Sequenced() bool { return g.sequenced }
+
+// Lookahead returns the group's conservative lookahead window.
+func (g *Group) Lookahead() Time { return g.look }
+
+// Now returns the group clock: the timestamp of the most recently
+// executed event (sequenced mode) or the most recent barrier
+// (concurrent mode), or the RunUntil deadline after a bounded run —
+// matching Engine.Now semantics for the single-engine case.
+func (g *Group) Now() Time { return g.now }
+
+// SetDrain installs the barrier hook. The group calls it at every epoch
+// boundary, with all engines paused; the model uses it to move buffered
+// cross-shard messages into their destination engines (PostForeign in
+// sequenced mode, Shard(i) scheduling in concurrent mode). Quiescence is
+// detected after draining, so messages still in buffers keep a run alive.
+func (g *Group) SetDrain(fn func()) { g.drain = fn }
+
+// SetCancel installs a cancellation probe on the group and fans it out
+// to every shard engine and the control engine, so a multi-shard run
+// observes cancellation per shard — inside each shard's epoch slice as
+// well as at barriers — rather than only when the whole group next
+// synchronizes.
+func (g *Group) SetCancel(cancel func() bool) {
+	g.cancel = cancel
+	g.ctrl.SetCancel(cancel)
+	for _, e := range g.shards {
+		e.SetCancel(cancel)
+	}
+}
+
+// SetMaxEvents overrides the runaway-loop guard on every engine in the
+// group, and on the sequenced driver. Zero restores the default.
+func (g *Group) SetMaxEvents(n uint64) {
+	if n == 0 {
+		n = DefaultMaxEvents
+	}
+	g.maxEvents = n
+	g.ctrl.SetMaxEvents(n)
+	for _, e := range g.shards {
+		e.SetMaxEvents(n)
+	}
+}
+
+// Reset rewinds every engine in the group to the epoch, restarts the
+// shared sequence counter, and clears the drain hook and cancellation
+// probe, mirroring Engine.Reset for the sharded case. Event free lists
+// are retained.
+func (g *Group) Reset() {
+	g.ctrl.Reset()
+	for _, e := range g.shards {
+		e.Reset()
+	}
+	g.gseq = 0
+	g.now = 0
+	g.drain = nil
+	g.cancel = nil
+}
+
+// Processed returns the total number of events executed across the
+// control engine and all shards.
+func (g *Group) Processed() uint64 {
+	n := g.ctrl.Processed()
+	for _, e := range g.shards {
+		n += e.Processed()
+	}
+	return n
+}
+
+// ReserveSeq draws the next value from the shared sequence counter. In
+// sequenced mode the model calls it at the moment it buffers a
+// cross-shard message — exactly where the single-engine run would have
+// scheduled the delivery — so the message re-enters the destination
+// queue (PostForeign) under the same global sequence number the serial
+// schedule would have stamped. Calling it in concurrent mode panics:
+// there is no shared counter to reserve from.
+func (g *Group) ReserveSeq() uint64 {
+	if !g.sequenced {
+		panic("des: ReserveSeq on a concurrent group")
+	}
+	g.gseq++
+	return g.gseq
+}
+
+// PostForeign queues runner r on shard engine dst at absolute time at,
+// under the previously reserved sequence number seq (see ReserveSeq).
+// It is the sequenced-mode barrier insertion: the event sorts into the
+// destination queue exactly where the single-engine schedule would have
+// placed it. Posting before the destination clock panics, as Schedule
+// would.
+func (g *Group) PostForeign(dst int, at Time, seq uint64, r Runner) {
+	if r == nil {
+		panic("des: post nil runner")
+	}
+	e := g.shards[dst]
+	if at < e.now {
+		panic("des: foreign post before destination clock")
+	}
+	ev := e.insert(at, seq)
+	ev.runner = r
+}
+
+// Run fires events across all engines until the whole group is
+// quiescent: every queue empty and the drain hook delivering nothing
+// further. It returns ErrHorizon or ErrCanceled as Engine.Run does.
+func (g *Group) Run() error {
+	return g.RunUntil(Time(math.MaxInt64))
+}
+
+// RunUntil fires events with timestamps <= deadline across all engines,
+// advancing the group clock to at most deadline. Events beyond the
+// deadline remain queued (or buffered, for undrained cross-shard
+// messages whose arrival lies past the deadline).
+func (g *Group) RunUntil(deadline Time) error {
+	var err error
+	if g.sequenced {
+		err = g.runSequenced(deadline)
+	} else {
+		err = g.runConcurrent(deadline)
+	}
+	if err != nil {
+		return err
+	}
+	if deadline != Time(math.MaxInt64) && g.now < deadline {
+		g.now = deadline
+	}
+	if g.now > deadline {
+		g.now = deadline
+	}
+	return nil
+}
+
+// minEngine returns the engine holding the globally smallest (at, seq)
+// key, across control and all shards. ok is false when every queue is
+// empty of live events. In sequenced mode sequence numbers are globally
+// unique, so the comparison is a strict total order.
+func (g *Group) minEngine() (best *Engine, bat Time, bseq uint64, ok bool) {
+	if at, seq, live := g.ctrl.NextKey(); live {
+		best, bat, bseq, ok = g.ctrl, at, seq, true
+	}
+	for _, e := range g.shards {
+		at, seq, live := e.NextKey()
+		if !live {
+			continue
+		}
+		if !ok || at < bat || (at == bat && seq < bseq) {
+			best, bat, bseq, ok = e, at, seq, true
+		}
+	}
+	return best, bat, bseq, ok
+}
+
+// runSequenced is the single-driver loop: epoch by epoch, pop the
+// globally smallest (at, seq) event and step its engine, draining
+// cross-shard buffers at every epoch boundary. Execution order equals
+// the single-engine order by induction on the shared sequence stream.
+func (g *Group) runSequenced(deadline Time) error {
+	var fired uint64
+	for {
+		if g.drain != nil {
+			g.drain()
+		}
+		eng, at, _, ok := g.minEngine()
+		if !ok || at > deadline {
+			return nil
+		}
+		epochEnd := at + g.look
+		if epochEnd < at { // overflow
+			epochEnd = Time(math.MaxInt64)
+		}
+		for {
+			eng, at, _, ok = g.minEngine()
+			if !ok || at >= epochEnd || at > deadline {
+				break
+			}
+			if fired >= g.maxEvents {
+				return ErrHorizon
+			}
+			if g.cancel != nil && fired%cancelStride == 0 && g.cancel() {
+				return ErrCanceled
+			}
+			g.now = at
+			eng.Step()
+			fired++
+		}
+	}
+}
+
+// runConcurrent is the goroutine-per-shard loop. Control events run on
+// the driver goroutine with all shards synchronized to (and paused at)
+// the control timestamp; shard epochs run K RunBefore calls in parallel
+// and join at the barrier, which is also the only point where
+// cross-shard buffers move (drain) — giving each epoch exclusive,
+// race-free access to its shard's entities.
+func (g *Group) runConcurrent(deadline Time) error {
+	for {
+		if g.drain != nil {
+			g.drain()
+		}
+		ctrlAt, _, ctrlOK := g.ctrl.NextKey()
+		var shardMin Time
+		shardOK := false
+		for _, e := range g.shards {
+			if at, _, ok := e.NextKey(); ok && (!shardOK || at < shardMin) {
+				shardMin, shardOK = at, true
+			}
+		}
+		if !ctrlOK && !shardOK {
+			return nil
+		}
+		if ctrlOK && (!shardOK || ctrlAt <= shardMin) {
+			// Control turn: every pending shard event is >= ctrlAt, so
+			// advancing the shard clocks to ctrlAt skips nothing and lets
+			// control handlers observe a current clock on any shard they
+			// touch or schedule on.
+			if ctrlAt > deadline {
+				return nil
+			}
+			for _, e := range g.shards {
+				if err := e.RunBefore(ctrlAt); err != nil {
+					return err
+				}
+			}
+			if g.now < ctrlAt {
+				g.now = ctrlAt
+			}
+			if err := g.ctrl.RunUntil(ctrlAt); err != nil {
+				return err
+			}
+			continue
+		}
+		if shardMin > deadline {
+			return nil
+		}
+		epochEnd := shardMin + g.look
+		if epochEnd < shardMin { // overflow
+			epochEnd = Time(math.MaxInt64)
+		}
+		if ctrlOK && ctrlAt < epochEnd {
+			epochEnd = ctrlAt
+		}
+		if deadline != Time(math.MaxInt64) && epochEnd > deadline {
+			// RunBefore is exclusive; deadline+1 admits events at the
+			// deadline itself, matching RunUntil's inclusive semantics.
+			epochEnd = deadline + 1
+		}
+		for i := range g.shards {
+			g.wg.Add(1)
+			go func(i int) {
+				defer g.wg.Done()
+				g.errs[i] = g.shards[i].RunBefore(epochEnd)
+			}(i)
+		}
+		g.wg.Wait()
+		for _, err := range g.errs {
+			if err != nil {
+				return err
+			}
+		}
+		if g.now < epochEnd {
+			g.now = epochEnd
+		}
+	}
+}

@@ -109,7 +109,15 @@ type Scenario struct {
 	// relationships (full valley-free reachability guaranteed). Takes
 	// precedence over PolicyRatio.
 	PolicyHierarchical bool
-	Seed               int64
+	// Shards, when >= 2, runs the simulation sharded across that many
+	// event loops (bgp.Params.Shards). Sequenced sharding — the default —
+	// leaves every result byte-identical to the single-engine run, so
+	// Shards <= 1 and Shards == 0 are the same scenario. ShardConcurrent
+	// selects the concurrent mode, which is its own determinism class
+	// (see bgp.Params.ShardConcurrent).
+	Shards          int
+	ShardConcurrent bool
+	Seed            int64
 }
 
 // Result captures one trial's measurements.
@@ -167,6 +175,10 @@ func runScenario(ctx context.Context, sc Scenario, pool *simPool) (Result, error
 	}
 	if sc.Scheme.Apply != nil {
 		sc.Scheme.Apply(&params)
+	}
+	if sc.Shards > 0 {
+		params.Shards = sc.Shards
+		params.ShardConcurrent = sc.ShardConcurrent
 	}
 	switch {
 	case sc.PolicyHierarchical:

@@ -69,6 +69,14 @@ type SweepConfig struct {
 	// count — seeds are derived from grid indices alone and results are
 	// aggregated in index order — so only wall-clock time changes.
 	Workers int
+	// Shards, when >= 2, runs every cell's simulation sharded across
+	// that many event loops (see Scenario.Shards). Unlike Workers it is
+	// part of the grid definition — it crosses the distributed-execution
+	// wire — because ShardConcurrent changes the determinism class;
+	// sequenced sharding (ShardConcurrent false) keeps the figure
+	// byte-identical to an unsharded sweep.
+	Shards          int
+	ShardConcurrent bool
 	// Progress, when set, is called after each completed cell. Calls are
 	// serialized (never concurrent) and done increases strictly
 	// monotonically even when cells complete out of order under a

@@ -1,0 +1,118 @@
+package topology
+
+// Partition assigns every node of nw to one of k shards and returns the
+// assignment (assign[node] = shard). It is the graph partitioner behind
+// the sharded simulation engine: shards are balanced to within one node
+// and grown by breadth-first accretion so that neighboring routers land
+// in the same shard where possible, minimizing the cut links whose
+// messages must cross shard boundaries at lookahead barriers.
+//
+// The heuristic is deterministic — identical input always yields the
+// identical assignment, a requirement for reproducible sharded runs:
+//
+//   - Shards are filled one at a time to a balanced capacity
+//     (ceil(remaining nodes / remaining shards)).
+//   - Each growth starts from the unassigned node with the smallest
+//     (degree, ID) — a peripheral node, so regions grow inward rather
+//     than splitting hubs early.
+//   - The next node added is always the unassigned neighbor with the
+//     most links into the growing shard (ties: smallest ID), the greedy
+//     step that keeps the cut small.
+//   - When the frontier dries up before the shard is full (disconnected
+//     graph or exhausted region), growth restarts from a fresh seed in
+//     the same shard.
+//
+// k <= 1 returns the all-zero assignment. k > NumNodes leaves the
+// excess shards empty.
+func Partition(nw *Network, k int) []int {
+	n := nw.NumNodes()
+	assign := make([]int, n)
+	if k <= 1 || n == 0 {
+		return assign
+	}
+	for i := range assign {
+		assign[i] = -1
+	}
+	// gain[v] = number of v's neighbors already in the shard being grown.
+	gain := make([]int, n)
+	inFrontier := make([]bool, n)
+	var frontier []int
+	remaining := n
+	for sh := 0; sh < k && remaining > 0; sh++ {
+		quota := (remaining + (k - sh) - 1) / (k - sh)
+		// Reset per-shard growth state.
+		frontier = frontier[:0]
+		for i := range gain {
+			gain[i], inFrontier[i] = 0, false
+		}
+		size := 0
+		for size < quota {
+			v := -1
+			if len(frontier) > 0 {
+				// Greedy step: most internal links, then smallest ID. The
+				// frontier is scanned in full — it only holds unassigned
+				// nodes adjacent to the shard, a small set.
+				best, bi := -1, -1
+				for i, f := range frontier {
+					if assign[f] != -1 {
+						continue // claimed earlier this shard via another path
+					}
+					if best == -1 || gain[f] > gain[best] || (gain[f] == gain[best] && f < best) {
+						best, bi = f, i
+					}
+				}
+				if best != -1 {
+					v = best
+					frontier[bi] = frontier[len(frontier)-1]
+					frontier = frontier[:len(frontier)-1]
+					inFrontier[v] = false
+				} else {
+					frontier = frontier[:0]
+				}
+			}
+			if v == -1 {
+				// Fresh seed: smallest (degree, ID) among unassigned nodes.
+				for i := 0; i < n; i++ {
+					if assign[i] != -1 {
+						continue
+					}
+					if v == -1 || nw.Degree(i) < nw.Degree(v) {
+						v = i
+					}
+				}
+				if v == -1 {
+					break // nothing left anywhere
+				}
+			}
+			assign[v] = sh
+			size++
+			remaining--
+			for _, nb := range nw.Neighbors(v) {
+				if assign[nb.ID] != -1 {
+					continue
+				}
+				gain[nb.ID]++
+				if !inFrontier[nb.ID] {
+					inFrontier[nb.ID] = true
+					frontier = append(frontier, nb.ID)
+				}
+			}
+		}
+	}
+	return assign
+}
+
+// CutEdges counts the links of nw whose endpoints fall in different
+// shards under assign — the links whose traffic must cross a shard
+// boundary in a sharded run. assign must cover every node.
+func CutEdges(nw *Network, assign []int) int {
+	cut := 0
+	for a := 0; a < nw.NumNodes(); a++ {
+		for _, nb := range nw.Neighbors(a) {
+			if a < nb.ID && assign[a] != assign[nb.ID] {
+				cut++
+			}
+		}
+	}
+	return cut
+}

@@ -1,0 +1,134 @@
+package topology
+
+import (
+	"testing"
+
+	"bgpsim/internal/des"
+)
+
+func partitionTestNet(t *testing.T, n int) *Network {
+	t.Helper()
+	nw, err := InternetLikeNetwork(n, 4.2, n/4, des.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+// TestPartitionCoversAndBalances pins the two structural guarantees:
+// every node lands in a valid shard, and shard sizes are balanced to
+// within one node of each other.
+func TestPartitionCoversAndBalances(t *testing.T) {
+	nw := partitionTestNet(t, 200)
+	for _, k := range []int{1, 2, 3, 4, 8, 16} {
+		assign := Partition(nw, k)
+		if len(assign) != nw.NumNodes() {
+			t.Fatalf("k=%d: assignment covers %d of %d nodes", k, len(assign), nw.NumNodes())
+		}
+		sizes := make([]int, k)
+		for v, sh := range assign {
+			if sh < 0 || sh >= k {
+				t.Fatalf("k=%d: node %d assigned to shard %d", k, v, sh)
+			}
+			sizes[sh]++
+		}
+		min, max := nw.NumNodes(), 0
+		for _, s := range sizes {
+			if s < min {
+				min = s
+			}
+			if s > max {
+				max = s
+			}
+		}
+		if max-min > 1 {
+			t.Fatalf("k=%d: shard sizes %v spread more than one node", k, sizes)
+		}
+	}
+}
+
+// TestPartitionDeterministic pins that the heuristic has no hidden
+// iteration-order dependence: two calls on clones of one network agree
+// exactly.
+func TestPartitionDeterministic(t *testing.T) {
+	nw := partitionTestNet(t, 150)
+	a := Partition(nw, 4)
+	b := Partition(nw.Clone(), 4)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("assignment differs at node %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// TestPartitionCutBeatsRoundRobin pins that the BFS growth actually
+// exploits locality: its cut must not exceed the placement-oblivious
+// round-robin assignment's cut on a clustered graph.
+func TestPartitionCutBeatsRoundRobin(t *testing.T) {
+	nw := partitionTestNet(t, 300)
+	for _, k := range []int{2, 4, 8} {
+		assign := Partition(nw, k)
+		rr := make([]int, nw.NumNodes())
+		for i := range rr {
+			rr[i] = i % k
+		}
+		greedy, naive := CutEdges(nw, assign), CutEdges(nw, rr)
+		if greedy > naive {
+			t.Errorf("k=%d: greedy cut %d exceeds round-robin cut %d", k, greedy, naive)
+		}
+		t.Logf("k=%d: cut %d of %d links (round-robin %d)", k, greedy, nw.NumLinks(), naive)
+	}
+}
+
+// TestPartitionEdgeCases covers the degenerate inputs the simulator can
+// hand the partitioner.
+func TestPartitionEdgeCases(t *testing.T) {
+	nw := partitionTestNet(t, 20)
+	for _, sh := range Partition(nw, 1) {
+		if sh != 0 {
+			t.Fatal("k=1 must assign every node to shard 0")
+		}
+	}
+	if got := Partition(NewNetwork(0), 4); len(got) != 0 {
+		t.Fatalf("empty network produced %d assignments", len(got))
+	}
+	// More shards than nodes: all nodes placed, one per shard.
+	tiny := NewNetwork(3)
+	assign := Partition(tiny, 8)
+	seen := map[int]bool{}
+	for v, sh := range assign {
+		if sh < 0 || sh >= 8 {
+			t.Fatalf("node %d assigned to shard %d", v, sh)
+		}
+		if seen[sh] {
+			t.Fatalf("shard %d got two nodes with shards to spare", sh)
+		}
+		seen[sh] = true
+	}
+	// Disconnected graph: isolated nodes must still all be assigned.
+	iso := NewNetwork(10)
+	if err := iso.AddLink(0, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	for v, sh := range Partition(iso, 3) {
+		if sh < 0 || sh >= 3 {
+			t.Fatalf("disconnected: node %d assigned to shard %d", v, sh)
+		}
+	}
+}
+
+// TestCutEdgesCounts pins CutEdges on a hand-checked square.
+func TestCutEdgesCounts(t *testing.T) {
+	nw := NewNetwork(4) // square: 0-1-2-3-0
+	for _, l := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}} {
+		if err := nw.AddLink(l[0], l[1], false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cut := CutEdges(nw, []int{0, 0, 1, 1}); cut != 2 {
+		t.Fatalf("square split 01|23: cut %d, want 2", cut)
+	}
+	if cut := CutEdges(nw, []int{0, 0, 0, 0}); cut != 0 {
+		t.Fatalf("single shard: cut %d, want 0", cut)
+	}
+}
