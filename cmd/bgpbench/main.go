@@ -81,6 +81,7 @@ func run(args []string, out *os.File) error {
 		fullScan  = fs.Bool("fullscan", false, "disable the incremental decision process (pre-PR-5 baseline mode)")
 		prefixes  = fs.Int("prefixes", 0, "override ConvergeMultiPrefix's prefixes-per-AS dimension (0 = suite default)")
 		shards    = fs.Int("shards", 0, "override ConvergeLargeScaleSharded's shard count (0 = suite default)")
+		warm      = fs.Bool("warmstart", false, "run scenario-layer entries warm-started from the snapshot backend's fixpoint (same results, less wall clock)")
 	)
 	var prof profiling.Config
 	prof.AddFlags(fs)
@@ -94,6 +95,7 @@ func run(args []string, out *os.File) error {
 	if *shards > 0 {
 		bench.ShardCount = *shards
 	}
+	bench.WarmStart = *warm
 
 	if *list {
 		for _, e := range bench.Suite() {

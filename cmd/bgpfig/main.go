@@ -63,6 +63,7 @@ func run(args []string) error {
 		workers  = fs.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS, 1 = serial; same bytes either way)")
 		shards   = fs.Int("shards", 0, "event-loop shards per simulation (0 or 1 = single engine; >= 2 must reproduce recorded figures byte-identically)")
 		shardCC  = fs.Bool("shard-concurrent", false, "with -shards: run shards on concurrent goroutines (deterministic per seed+shards, but NOT byte-identical to recorded figures)")
+		warm     = fs.Bool("warmstart", false, "seed each trial from the snapshot backend's converged fixpoint instead of simulating initial convergence (must reproduce recorded figures byte-identically)")
 		outDir   = fs.String("o", "", "also write each figure to <dir>/<id>.txt")
 		asJSON   = fs.Bool("json", false, "with -o: additionally write <id>.json for plotting tools")
 		quiet    = fs.Bool("q", false, "suppress progress output")
@@ -128,6 +129,7 @@ func run(args []string) error {
 		opts.Shards = *shards
 		opts.ShardConcurrent = *shardCC
 	}
+	opts.WarmStart = *warm
 	opts.Workers = *workers
 
 	var exps []bgpsim.Experiment

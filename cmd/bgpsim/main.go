@@ -48,6 +48,7 @@ func run(args []string, out *os.File) error {
 		policy   = fs.Bool("policy", false, "enable Gao-Rexford policies (hierarchical relationships)")
 		shards   = fs.Int("shards", 0, "event-loop shards per simulation (0 or 1 = single engine; >= 2 is byte-identical in the default sequenced mode)")
 		shardCC  = fs.Bool("shard-concurrent", false, "with -shards: run shards on concurrent goroutines (own determinism class)")
+		warm     = fs.Bool("warmstart", false, "seed each trial from the snapshot backend's converged fixpoint instead of simulating initial convergence (same results, less wall clock)")
 	)
 	var prof profiling.Config
 	prof.AddFlags(fs)
@@ -69,6 +70,7 @@ func run(args []string, out *os.File) error {
 		PolicyHierarchical: *policy,
 		Shards:             *shards,
 		ShardConcurrent:    *shardCC,
+		WarmStart:          *warm,
 		Seed:               *seed,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

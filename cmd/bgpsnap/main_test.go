@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bgpsim/internal/des"
+	"bgpsim/internal/topology"
+)
+
+func TestSnapshotReport(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-kind", "internet-like", "-n", "200", "-seed", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"nodes        200",
+		"ases         200",
+		"policy       shortest path (policy-free)",
+		"reachable, 100.00%",
+		"path length histogram:",
+		"relax time",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestSnapshotPolicyModes(t *testing.T) {
+	var flat, hier bytes.Buffer
+	if err := run([]string{"-kind", "internet-like", "-n", "150", "-seed", "2"}, &flat); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-kind", "internet-like", "-n", "150", "-seed", "2", "-rel", "hierarchical"}, &hier); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(hier.String(), "Gao-Rexford valley-free") {
+		t.Errorf("policy mode not reported:\n%s", hier.String())
+	}
+	// The hierarchy guarantees full valley-free reachability, so the
+	// policy run must still reach every pair.
+	if !strings.Contains(hier.String(), "reachable, 100.00%") {
+		t.Errorf("hierarchical policy lost reachability:\n%s", hier.String())
+	}
+	if flat.String() == hier.String() {
+		t.Error("policy routing changed nothing (suspicious)")
+	}
+}
+
+func TestSnapshotReadsAnnotatedFile(t *testing.T) {
+	// An annotated topology file (topogen -rel writes this shape) must
+	// route under its saved relationships without any -rel flag.
+	nw, err := topology.InternetLikeNetwork(100, 3.4, 40, des.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := topology.HierarchicalRelationships(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "topo.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.WriteJSONWith(f, rs); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-in", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Gao-Rexford valley-free") {
+		t.Errorf("saved annotations not used:\n%s", out.String())
+	}
+}
+
+func TestBadFlagsError(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-kind", "nonsense", "-n", "10"}, &out); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if err := run([]string{"-kind", "internet-like", "-n", "50", "-rel", "friend"}, &out); err == nil {
+		t.Error("unknown relationship mode accepted")
+	}
+}

@@ -6,6 +6,9 @@
 //	topogen -kinds                          # list families
 //	topogen -kind skewed-70-30 -n 120 -seed 1 -o topo.json
 //	topogen -in topo.json -stats            # inspect a saved topology
+//	topogen -kind internet-like -n 500 -rel infer -o topo.json
+//	                                        # annotate Gao-Rexford
+//	                                        # relationships into the file
 package main
 
 import (
@@ -38,6 +41,8 @@ func run(args []string, out io.Writer) error {
 		outPath = fs.String("o", "", "write JSON to this file (default stdout if no -stats)")
 		inPath  = fs.String("in", "", "read a saved topology instead of generating")
 		stats   = fs.Bool("stats", false, "print summary statistics")
+		rel     = fs.String("rel", "", "annotate Gao-Rexford relationships: infer (degree heuristic) or hierarchical (BFS hierarchy); written into the JSON")
+		relRat  = fs.Float64("rel-ratio", 0, "with -rel infer: degree ratio above which the bigger endpoint is the provider (0 = 1.5)")
 	)
 	var prof profiling.Config
 	prof.AddFlags(fs)
@@ -57,6 +62,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	var net *bgpsim.Network
+	var rels *topology.Relationships
 	var err error
 	if *inPath != "" {
 		f, err2 := os.Open(*inPath)
@@ -64,7 +70,9 @@ func run(args []string, out io.Writer) error {
 			return err2
 		}
 		defer f.Close()
-		net, err = topology.ReadJSON(f)
+		// A saved file may already carry annotations; -rel re-derives and
+		// replaces them below.
+		net, rels, err = topology.ReadJSONWith(f)
 	} else {
 		spec := topology.Spec{Kind: topology.Kind(*kind), N: *n}
 		net, err = spec.Build(des.NewRNG(*seed))
@@ -72,9 +80,16 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *rel != "" {
+		spec := topology.Spec{Relationships: *rel, RelationshipRatio: *relRat}
+		if rels, err = spec.BuildRelationships(net); err != nil {
+			return err
+		}
+	}
 
 	if *stats {
 		printStats(out, net)
+		printRelStats(out, rels)
 	}
 	switch {
 	case *outPath != "":
@@ -83,14 +98,31 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		defer f.Close()
-		if err := net.WriteJSON(f); err != nil {
+		if err := net.WriteJSONWith(f, rels); err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "wrote %s (%d nodes, %d links)\n", *outPath, net.NumNodes(), net.NumLinks())
 	case !*stats:
-		return net.WriteJSON(out)
+		return net.WriteJSONWith(out, rels)
 	}
 	return nil
+}
+
+// printRelStats summarizes a relationship annotation: how many inter-AS
+// links are transit (customer-provider) versus peering.
+func printRelStats(out io.Writer, rels *topology.Relationships) {
+	if rels == nil {
+		return
+	}
+	var transit, peering int
+	for _, l := range rels.LinkAnnotations() {
+		if l.Rel == topology.RelPeer {
+			peering++
+		} else {
+			transit++
+		}
+	}
+	fmt.Fprintf(out, "relationships  %d transit, %d peering\n", transit, peering)
 }
 
 func printStats(out io.Writer, net *bgpsim.Network) {

@@ -61,6 +61,42 @@ func TestWriteAndReadBack(t *testing.T) {
 	}
 }
 
+func TestRelationshipAnnotationRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "topo.json")
+	var out bytes.Buffer
+	if err := run([]string{"-kind", "internet-like", "-n", "40", "-rel", "infer", "-stats", "-o", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "relationships  ") {
+		t.Errorf("stats missing relationship summary:\n%s", out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"relationships"`) {
+		t.Error("written JSON carries no relationship annotations")
+	}
+	// Reading the annotated file back must surface the saved annotations
+	// without re-deriving them.
+	firstStats := out.String()[strings.Index(out.String(), "relationships  "):]
+	out.Reset()
+	if err := run([]string{"-in", path, "-stats"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), strings.TrimSpace(strings.SplitN(firstStats, "\n", 2)[0])) {
+		t.Errorf("read-back relationship summary differs:\n%s", out.String())
+	}
+}
+
+func TestBadRelModeErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-kind", "skewed-70-30", "-n", "30", "-rel", "friend"}, &out); err == nil {
+		t.Error("unknown relationship mode accepted")
+	}
+}
+
 func TestBadKindErrors(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-kind", "nonsense", "-n", "10"}, &out); err == nil {

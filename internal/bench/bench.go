@@ -30,6 +30,7 @@ import (
 	"bgpsim/internal/dist"
 	"bgpsim/internal/experiment"
 	"bgpsim/internal/mrai"
+	"bgpsim/internal/snapshot"
 	"bgpsim/internal/topology"
 )
 
@@ -105,6 +106,8 @@ func Suite() []Entry {
 			scenarioSeedCycle(b, bgpsim.LargeScale500(), 4)
 		}},
 		{"ConvergeLargeScaleSharded", convergeLargeScaleSharded},
+		{"ConvergeLargeScaleWarm", convergeLargeScaleWarm},
+		{"SnapshotConverge500", snapshotConverge500},
 		{"ConvergeMultiPrefix", convergeMultiPrefix},
 		{"ConvergeAndFailFIFOReset", convergeAndFailReset},
 		{"TopologyCacheHit", topologyCacheHit},
@@ -157,11 +160,19 @@ func convergeAndFail(b *testing.B, mutate func(*bgp.Params)) {
 	}
 }
 
+// WarmStart flips every scenario-layer entry to snapshot-seeded trials
+// (cmd/bgpbench -warmstart sets it), the same override model as
+// ShardCount and MultiPrefixCount: the entry list stays fixed while the
+// execution mode becomes a command-line dimension. Results are
+// byte-identical either way; only wall clock moves.
+var WarmStart = false
+
 // scenario is the body behind the Scenario* entries: one scenario-layer
 // run (topology generation included) per iteration, fresh seed each time.
 func scenario(b *testing.B, sc bgpsim.Scenario) {
 	b.Helper()
 	b.ReportAllocs()
+	sc.WarmStart = sc.WarmStart || WarmStart
 	for i := 0; i < b.N; i++ {
 		sc.Seed = int64(1 + i)
 		if _, err := bgpsim.Run(sc); err != nil {
@@ -176,6 +187,7 @@ func scenario(b *testing.B, sc bgpsim.Scenario) {
 func scenarioSeedCycle(b *testing.B, sc bgpsim.Scenario, worlds int) {
 	b.Helper()
 	b.ReportAllocs()
+	sc.WarmStart = sc.WarmStart || WarmStart
 	for i := 0; i < b.N; i++ {
 		sc.Seed = int64(1 + i%worlds)
 		if _, err := bgpsim.Run(sc); err != nil {
@@ -199,6 +211,41 @@ func convergeLargeScaleSharded(b *testing.B) {
 	sc := bgpsim.LargeScale500()
 	sc.Shards = ShardCount
 	scenarioSeedCycle(b, sc, 4)
+}
+
+// convergeLargeScaleWarm is the warm-started twin of ConvergeLargeScale:
+// identical 500-AS scenario, but each trial installs the snapshot
+// backend's fixpoint and starts at failure injection. The gap between
+// this entry's ns/op and ConvergeLargeScale's is the initial-convergence
+// phase the snapshot backend eliminates — ~8x cheaper as a phase, but a
+// ~20-40% trial-level saving at this failure size, because the
+// byte-identity-pinned post-failure storm dominates the trial (see
+// EXPERIMENTS.md "Snapshot warm start"). The first iteration per world
+// pays the snapshot computation; later laps hit bgp's snapshot cache,
+// which is the steady state sweeps see.
+func convergeLargeScaleWarm(b *testing.B) {
+	sc := bgpsim.LargeScale500()
+	sc.WarmStart = true
+	scenarioSeedCycle(b, sc, 4)
+}
+
+// snapshotConverge500 measures the snapshot backend alone: one full
+// relaxation to the converged fixpoint of the 500-AS Internet-like world
+// per iteration, no DES involved. Its ns/op is the fixed cost a
+// warm-started trial pays on a snapshot-cache miss; compare against
+// ConvergeLargeScale to see the relaxation-vs-event-exploration gap.
+func snapshotConverge500(b *testing.B) {
+	net, err := experiment.BuildTopologyCached(bgpsim.LargeScale500().Topology, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := snapshot.Compute(net, snapshot.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // MultiPrefixCount is the prefix dimension of the ConvergeMultiPrefix

@@ -152,6 +152,18 @@ type Params struct {
 	// serial schedule.
 	ShardConcurrent bool
 
+	// WarmStart replaces the event-driven initial-convergence phase with
+	// the snapshot backend (internal/snapshot): ConvergeAndFail installs
+	// the analytically computed converged routing state — Loc-RIBs,
+	// Adj-RIBs-In, advertisement bookkeeping, quiescent timers — directly
+	// into the routers and proceeds straight to failure injection. Because
+	// the measurement window normalizes away all phase-1 transients in
+	// every mode (see Simulator.normalizeWindow), a warm-started trial
+	// reproduces the cold-started trial's post-failure delay and message
+	// figures exactly while skipping the bulk of the wall-clock cost.
+	// Policy runs hand the same Relationships to both backends via Policy.
+	WarmStart bool
+
 	// Seed drives every random draw in the simulation (processing delays,
 	// jitter, origination stagger).
 	Seed int64

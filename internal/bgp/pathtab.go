@@ -111,3 +111,46 @@ func (t *pathTab) intern(p Path) routeRef {
 	}
 	return t.register(p)
 }
+
+// pathCompactor rebuilds a path table so it holds exactly the refs still
+// reachable from RIB storage. The exploration storm of a large trial
+// registers orders of magnitude more paths than survive to quiescence
+// (every transient best path lives in the arena until Reset); at
+// 500 ASes × 1000 prefixes the dead fraction is GB-scale. The compactor
+// copies each live path once into a fresh arena and hands out the
+// remapping; the old table — arena blocks, ref slices, memo map — is
+// dropped wholesale when the owner installs dst.
+//
+// Refs are pure acceleration, never identity (comparisons fall back to
+// pathsEqual when refs differ), so renumbering every live ref is
+// behavior-neutral. The prepend memo starts empty and re-fills keyed by
+// the new refs. Only legal at quiescence with no in-flight updates —
+// exactly the Simulator.Reset precondition, enforced by the caller.
+type pathCompactor struct {
+	src   *pathTab
+	dst   pathTab
+	remap []routeRef // old ref -> new ref; 0 = not yet copied
+}
+
+func newPathCompactor(src *pathTab) *pathCompactor {
+	c := &pathCompactor{src: src, remap: make([]routeRef, len(src.paths)+1)}
+	c.dst.reset()
+	c.remap[src.emptyRef] = c.dst.emptyRef
+	return c
+}
+
+// ref returns the compacted ref for old, copying the path on first use.
+func (c *pathCompactor) ref(old routeRef) routeRef {
+	if old == 0 {
+		return 0
+	}
+	if nr := c.remap[old]; nr != 0 {
+		return nr
+	}
+	p := c.src.path(old)
+	np := c.dst.arena.alloc(len(p))
+	copy(np, p)
+	nr := c.dst.register(np)
+	c.remap[old] = nr
+	return nr
+}

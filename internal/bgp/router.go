@@ -986,6 +986,41 @@ func (r *router) peerDown(slot int) {
 	}
 }
 
+// normalizeWindow canonicalizes the router's residual phase-1 transients
+// at the moment the measurement window opens (see
+// Simulator.normalizeWindow): MRAI gates expire, the flap-gate counters
+// restart (their documented "since the window opened" semantics), the
+// MRAI policy and damper return to their boot state, and the load
+// accounting re-anchors at the window time. The RIBs, advertisement
+// bookkeeping, and sessions are untouched — those carry the converged
+// routing state the post-failure dynamics run from.
+func (r *router) normalizeWindow(at des.Time) {
+	if !r.alive {
+		return
+	}
+	for slot := range r.peers {
+		r.nextSend[slot] = 0
+	}
+	if r.destGate != nil {
+		for slot := range r.destGate {
+			gates := r.destGate[slot]
+			for i := range gates {
+				gates[i] = 0
+			}
+		}
+	}
+	for i := range r.flapCount {
+		r.flapCount[i] = 0
+	}
+	r.policy = r.sim.params.MRAI(len(r.peers))
+	if r.sim.params.Damping != nil {
+		r.damper = newDamper(r.sim.params.Damping)
+	}
+	r.busyAccum, r.lastSnapBusy = 0, 0
+	r.busyStart, r.lastSnapTime = at, at
+	r.msgsSinceSnap = 0
+}
+
 // snapshot builds the mrai.Snapshot for a timer restart and rolls the
 // per-window accounting forward.
 func (r *router) snapshot(now des.Time) mrai.Snapshot {

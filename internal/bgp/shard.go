@@ -100,6 +100,18 @@ func (sh *shardRuntime) reset(master *des.RNG) {
 	}
 }
 
+// reseed rewinds the concurrent-mode shard random streams in place from
+// a freshly reseeded master, re-deriving exactly the seeds reset
+// installed. In-place matters: every router caches a pointer to its
+// shard's stream (bindContext), so the streams must be rewound, not
+// replaced. No-op in sequenced mode, where rngs is nil and every router
+// shares the master stream.
+func (sh *shardRuntime) reseed(master *des.RNG) {
+	for i := range sh.rngs {
+		sh.rngs[i].Reseed(master.SplitSeed("shard" + strconv.Itoa(i)))
+	}
+}
+
 // lookahead returns the conservative lookahead for the partition: the
 // minimum link delay over cut links — the soonest any cross-shard
 // message can arrive after being sent. A partition with no cut links

@@ -65,6 +65,10 @@ type Simulator struct {
 	// Concurrent sharded runs give each shard its own pathTab instead
 	// (shardRuntime.tabs).
 	tab pathTab
+
+	// pathCompactions counts quiescence compaction sweeps this trial
+	// (see maybeCompactPaths).
+	pathCompactions int
 }
 
 // delivery is the pooled des.Runner carrying one in-flight update from
@@ -200,6 +204,7 @@ func (s *Simulator) Reset(params Params) error {
 	// Safe exactly here: the engine drain above discarded in-flight
 	// updates and the router resets below clear every RIB reference.
 	s.tab.reset()
+	s.pathCompactions = 0
 	s.setupShards(params)
 
 	maxAS := 0
@@ -386,6 +391,28 @@ func (s *Simulator) openWindow(at des.Time) {
 	}
 }
 
+// normalizeWindow canonicalizes every piece of run state that could
+// carry phase-1 residue into the measurement window: the random streams
+// are reseeded from Params.Seed (per-shard streams re-derived in place
+// in concurrent mode), and every live router expires its MRAI gates,
+// restarts its flap counters, and rebuilds its policy, damper, and load
+// accounting (router.normalizeWindow). It runs at window open in every
+// mode — cold and warm start alike — which makes the post-failure
+// dynamics a pure function of (topology, converged routing state,
+// failure set, parameters, seed). That contract is what lets a
+// warm-started trial reproduce a cold-started one byte-for-byte: the two
+// arrive at the window with identical routing state and, after
+// normalization, identical everything else.
+func (s *Simulator) normalizeWindow(at des.Time) {
+	s.rng.Reseed(s.params.Seed)
+	if s.sh != nil {
+		s.sh.reseed(s.rng)
+	}
+	for _, r := range s.routers {
+		r.normalizeWindow(at)
+	}
+}
+
 // ctrlEng returns the engine global control events (failures,
 // recoveries) run on: the control engine in sharded mode — whose events
 // execute with every shard paused at the event's timestamp — and the
@@ -398,13 +425,15 @@ func (s *Simulator) ctrlEng() *des.Engine {
 }
 
 // ScheduleFailure kills the given nodes at time at and opens the metrics
-// measurement window there. Surviving neighbors run session-down
-// processing after DetectDelay.
+// measurement window there, normalizing away any phase-1 residue first
+// (see normalizeWindow). Surviving neighbors run session-down processing
+// after DetectDelay.
 func (s *Simulator) ScheduleFailure(at des.Time, nodes []int) {
 	failed := append([]int(nil), nodes...)
 	sort.Ints(failed)
 	s.ctrlEng().ScheduleAt(at, func() {
 		s.openWindow(at)
+		s.normalizeWindow(at)
 		for _, id := range failed {
 			if id >= 0 && id < len(s.routers) {
 				s.routers[id].kill()
@@ -450,6 +479,7 @@ func (s *Simulator) ScheduleLinkFailure(at des.Time, links [][2]int) {
 	cut := append([][2]int(nil), links...)
 	s.ctrlEng().ScheduleAt(at, func() {
 		s.openWindow(at)
+		s.normalizeWindow(at)
 		for _, l := range cut {
 			a, b := l[0], l[1]
 			if a < 0 || b < 0 || a >= len(s.routers) || b >= len(s.routers) {
@@ -604,17 +634,150 @@ func (s *Simulator) PolicyLevelHistogram() map[int]int {
 	return h
 }
 
+// Compaction trigger thresholds (variables so tests can force the sweep
+// on small topologies). The sweep runs at quiescence when the table has
+// at least CompactMinPaths registrations and the dead fraction — paths
+// no RIB cell references anymore — is at least CompactDeadFraction.
+var (
+	CompactMinPaths     = 1 << 16
+	CompactDeadFraction = 0.5
+)
+
+// PathStats describes the interned-path table footprint.
+type PathStats struct {
+	// Registered counts paths currently registered (since the last Reset
+	// or compaction). Summed over shard tables in concurrent mode.
+	Registered int
+	// Live counts distinct refs reachable from RIB storage. Computed
+	// only in the shared-table modes (single-engine, sequenced); -1 in
+	// concurrent sharded mode, where refs index per-shard tables.
+	Live int
+	// Compactions counts the sweeps performed since the last Reset.
+	Compactions int
+}
+
+// sharedTab reports whether every router aliases the Simulator's own
+// path table (single-engine and sequenced sharded modes) — the modes the
+// compaction sweep supports.
+func (s *Simulator) sharedTab() bool {
+	return s.sh == nil || s.sh.g.Sequenced()
+}
+
+// forEachRefCell invokes fn on every occupied routeRef cell in RIB
+// storage — Loc-RIB refs and export caches, Adj-RIB-In columns, and the
+// advertised bookkeeping — so callers can count or rewrite refs in
+// place. In-flight updates are not visited; callers run at quiescence.
+func (s *Simulator) forEachRefCell(fn func(*routeRef)) {
+	for _, r := range s.routers {
+		for i := range r.loc.refs {
+			if r.loc.refs[i] != 0 {
+				fn(&r.loc.refs[i])
+			}
+		}
+		for i := range r.loc.exports {
+			if r.loc.exports[i] != 0 {
+				fn(&r.loc.exports[i])
+			}
+		}
+		for si := range r.adjIn.slots {
+			refs := r.adjIn.slots[si].refs
+			for i := range refs {
+				if refs[i] != 0 {
+					fn(&refs[i])
+				}
+			}
+		}
+		for si := range r.advertised {
+			refs := r.advertised[si].refs
+			for i := range refs {
+				if refs[i] != 0 {
+					fn(&refs[i])
+				}
+			}
+		}
+	}
+}
+
+// PathTableStats reports the path-table footprint (see PathStats).
+func (s *Simulator) PathTableStats() PathStats {
+	ps := PathStats{Compactions: s.pathCompactions}
+	if !s.sharedTab() {
+		ps.Live = -1
+		for _, tab := range s.sh.tabs {
+			ps.Registered += len(tab.paths)
+		}
+		return ps
+	}
+	ps.Registered = len(s.tab.paths)
+	seen := make([]bool, len(s.tab.paths)+1)
+	s.forEachRefCell(func(p *routeRef) {
+		if !seen[*p] {
+			seen[*p] = true
+			ps.Live++
+		}
+	})
+	return ps
+}
+
+// maybeCompactPaths runs the dead-path compaction sweep when the trigger
+// thresholds are met: at quiescence (no in-flight updates, the caller's
+// obligation) the live refs are exactly those in RIB storage, so the
+// table is rebuilt around them and the dead majority — every transient
+// path the exploration storm interned — is released in one move. The
+// sweep is behavior-neutral: refs are acceleration, not identity.
+func (s *Simulator) maybeCompactPaths() {
+	if !s.sharedTab() {
+		return
+	}
+	total := len(s.tab.paths)
+	if total < CompactMinPaths {
+		return
+	}
+	seen := make([]bool, total+1)
+	live := 0
+	s.forEachRefCell(func(p *routeRef) {
+		if !seen[*p] {
+			seen[*p] = true
+			live++
+		}
+	})
+	if float64(total-live) < CompactDeadFraction*float64(total) {
+		return
+	}
+	c := newPathCompactor(&s.tab)
+	s.forEachRefCell(func(p *routeRef) { *p = c.ref(*p) })
+	// Struct assignment through the shared address: every router's tab
+	// pointer (&s.tab) observes the compacted table.
+	s.tab = c.dst
+	s.pathCompactions++
+}
+
 // SettleMargin is the idle gap inserted between initial convergence and
 // failure injection so Phase 1 stragglers never overlap the window.
 const SettleMargin = 5 * time.Second
 
 // ConvergeAndFail is the standard experiment flow: run initial
 // convergence, inject the failure SettleMargin later, re-converge, and
-// return the post-failure convergence delay.
+// return the post-failure convergence delay. With Params.WarmStart the
+// initial convergence is not simulated at all: the snapshot backend's
+// fixpoint is installed as the converged state (warmStart) and the
+// failure fires SettleMargin into the run. Window normalization at
+// failure time (normalizeWindow) makes the two starts indistinguishable
+// from the measurement window onward.
 func (s *Simulator) ConvergeAndFail(nodes []int) (time.Duration, error) {
-	s.Start()
-	if err := s.Run(); err != nil {
-		return 0, fmt.Errorf("initial convergence: %w", err)
+	if s.params.WarmStart {
+		if err := s.warmStart(); err != nil {
+			return 0, fmt.Errorf("warm start: %w", err)
+		}
+	} else {
+		s.Start()
+		if err := s.Run(); err != nil {
+			return 0, fmt.Errorf("initial convergence: %w", err)
+		}
+		// Quiescence is the one moment the live path set is exactly the
+		// RIB contents; shed the exploration storm's dead paths before
+		// phase 2 piles its own on top.
+		s.maybeCompactPaths()
 	}
 	failAt := s.Now() + SettleMargin
 	s.ScheduleFailure(failAt, nodes)

@@ -54,6 +54,13 @@ type Options struct {
 	// count but differ from the recorded single-engine figures), so it
 	// never participates in golden comparisons.
 	ShardConcurrent bool
+	// WarmStart replaces each trial's event-driven initial-convergence
+	// phase with the snapshot backend's fixpoint
+	// (experiment.Scenario.WarmStart): trials begin at failure injection.
+	// Window normalization keeps every figure byte-identical to the cold
+	// run's, so it is safe for golden comparisons and exists purely to
+	// cut wall clock.
+	WarmStart bool
 	// Progress, when set, receives per-cell completion callbacks. Calls
 	// are serialized with strictly increasing done counts (see
 	// experiment.SweepConfig.Progress).
@@ -137,6 +144,7 @@ func (o Options) ctx() context.Context {
 func (o Options) sweep(cfg experiment.SweepConfig) (experiment.Figure, error) {
 	cfg.Shards = o.shards()
 	cfg.ShardConcurrent = o.ShardConcurrent && cfg.Shards > 0
+	cfg.WarmStart = o.WarmStart
 	if o.Sweeper != nil {
 		return o.Sweeper(cfg)
 	}

@@ -22,12 +22,28 @@ func NewRNG(seed int64) *RNG {
 // Split derives an independent stream from this one, keyed by label so the
 // derivation is stable regardless of call order elsewhere.
 func (g *RNG) Split(label string) *RNG {
+	return NewRNG(g.SplitSeed(label))
+}
+
+// SplitSeed returns the seed Split(label) would give the derived stream,
+// consuming one draw from this stream. It exists so an already-shared
+// child stream can be rewound in place (see Reseed) to exactly the state
+// a fresh Split would produce, without invalidating pointers to it.
+func (g *RNG) SplitSeed(label string) int64 {
 	h := int64(1469598103934665603) // FNV-1a offset basis
 	for i := 0; i < len(label); i++ {
 		h ^= int64(label[i])
 		h *= 1099511628211
 	}
-	return NewRNG(h ^ g.r.Int63())
+	return h ^ g.r.Int63()
+}
+
+// Reseed rewinds the stream in place to the state NewRNG(seed) produces.
+// Every existing pointer to the RNG stays valid and observes the fresh
+// stream — the property the simulator's measurement-window normalization
+// depends on (router contexts hold the stream pointer across the reseed).
+func (g *RNG) Reseed(seed int64) {
+	g.r = rand.New(rand.NewSource(seed))
 }
 
 // Int63 returns a non-negative 63-bit integer.

@@ -90,6 +90,14 @@ type Options struct {
 	// coordinators that predate the fields.
 	Shards          int  `json:"shards,omitempty"`
 	ShardConcurrent bool `json:"shard_concurrent,omitempty"`
+	// WarmStart selects snapshot-seeded trials (0 events before the
+	// failure window). It crosses the wire so every worker runs the cell
+	// the same way — results are byte-identical either way, but the
+	// duplicate-completion cross-check compares wall-clock-independent
+	// bytes only when both sides agree on the execution mode. omitempty
+	// keeps cold-start wire forms identical to coordinators that predate
+	// the field.
+	WarmStart bool `json:"warm_start,omitempty"`
 }
 
 // WireOptions extracts the wire form of o. The coordinator sends the
@@ -106,6 +114,7 @@ func WireOptions(o core.Options) Options {
 		PrefixesPerOrigin:  o.PrefixesPerOrigin,
 		Shards:             o.Shards,
 		ShardConcurrent:    o.ShardConcurrent,
+		WarmStart:          o.WarmStart,
 	}
 }
 
@@ -121,6 +130,7 @@ func (o Options) Core() core.Options {
 		PrefixesPerOrigin:  o.PrefixesPerOrigin,
 		Shards:             o.Shards,
 		ShardConcurrent:    o.ShardConcurrent,
+		WarmStart:          o.WarmStart,
 	}
 }
 

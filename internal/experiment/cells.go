@@ -26,6 +26,9 @@ func CellScenario(cfg SweepConfig, si, xi int) Scenario {
 		sc.Shards = cfg.Shards
 		sc.ShardConcurrent = cfg.ShardConcurrent
 	}
+	if cfg.WarmStart {
+		sc.WarmStart = true
+	}
 	return sc
 }
 

@@ -117,7 +117,13 @@ type Scenario struct {
 	// (see bgp.Params.ShardConcurrent).
 	Shards          int
 	ShardConcurrent bool
-	Seed            int64
+	// WarmStart skips the event-driven initial-convergence phase: the
+	// snapshot backend's fixpoint is installed as the converged state and
+	// the trial proceeds straight to failure injection
+	// (bgp.Params.WarmStart). Window normalization makes the post-failure
+	// figures byte-identical to the cold-started trial.
+	WarmStart bool
+	Seed      int64
 }
 
 // Result captures one trial's measurements.
@@ -180,17 +186,28 @@ func runScenario(ctx context.Context, sc Scenario, pool *simPool) (Result, error
 		params.Shards = sc.Shards
 		params.ShardConcurrent = sc.ShardConcurrent
 	}
+	if sc.WarmStart {
+		params.WarmStart = true
+	}
 	switch {
-	case sc.PolicyHierarchical:
-		rs, err := topology.HierarchicalRelationships(net)
+	case sc.PolicyHierarchical, sc.PolicyRatio > 0:
+		// Annotations come from the process-wide memo so every trial on a
+		// memoized network shares one Relationships value — which also
+		// lets warm-started trials share one snapshot fixpoint (bgp's
+		// snapshot cache keys on the pointer pair).
+		rs, err := relationshipsFor(net, sc.PolicyHierarchical, sc.PolicyRatio)
 		if err != nil {
-			return Result{}, fmt.Errorf("hierarchical policy: %w", err)
+			return Result{}, fmt.Errorf("annotate policy: %w", err)
 		}
 		params.Policy = rs
-	case sc.PolicyRatio > 0:
-		rs, err := topology.InferRelationships(net, sc.PolicyRatio)
+	case sc.Topology.Relationships != "":
+		// The spec itself names the annotation (topogen's -rel modes): the
+		// DES policy path and the snapshot backend consume the identical
+		// derivation, with the explicit Policy* scenario fields taking
+		// precedence above.
+		rs, err := relationshipsForSpec(net, sc.Topology)
 		if err != nil {
-			return Result{}, fmt.Errorf("infer policy: %w", err)
+			return Result{}, fmt.Errorf("annotate policy: %w", err)
 		}
 		params.Policy = rs
 	}

@@ -1,0 +1,185 @@
+package topology
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"bgpsim/internal/des"
+)
+
+// annotatedWorld builds an Internet-like network with degree-inferred
+// relationships, the shape the annotation round trip must preserve.
+func annotatedWorld(t *testing.T) (*Network, *Relationships) {
+	t.Helper()
+	nw, err := InternetLikeNetwork(80, 3.4, 40, des.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := InferRelationships(nw, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw, rs
+}
+
+func TestLinkAnnotationsCanonical(t *testing.T) {
+	nw, rs := annotatedWorld(t)
+	anns := rs.LinkAnnotations()
+	if len(anns) == 0 {
+		t.Fatal("no annotations")
+	}
+	if 2*len(anns) != rs.Len() {
+		t.Fatalf("%d annotations for %d directed entries", len(anns), rs.Len())
+	}
+	for i, a := range anns {
+		if a.A >= a.B {
+			t.Fatalf("annotation %d not canonical: %d-%d", i, a.A, a.B)
+		}
+		if i > 0 {
+			p := anns[i-1]
+			if p.A > a.A || (p.A == a.A && p.B >= a.B) {
+				t.Fatalf("annotations not sorted at %d: %v then %v", i, p, a)
+			}
+		}
+		if got := rs.Of(a.A, a.B); got != a.Rel {
+			t.Fatalf("annotation %d-%d says %v, map says %v", a.A, a.B, a.Rel, got)
+		}
+	}
+	// The enumeration must invert exactly.
+	back := RelationshipsFromLinks(anns)
+	if back.Len() != rs.Len() {
+		t.Fatalf("reconstructed %d entries, want %d", back.Len(), rs.Len())
+	}
+	for _, l := range nw.Links() {
+		if l.Internal {
+			continue
+		}
+		if back.Of(l.A, l.B) != rs.Of(l.A, l.B) {
+			t.Fatalf("link %d-%d: reconstructed %v, want %v", l.A, l.B, back.Of(l.A, l.B), rs.Of(l.A, l.B))
+		}
+	}
+}
+
+func TestJSONRoundTripWithRelationships(t *testing.T) {
+	nw, rs := annotatedWorld(t)
+	var buf bytes.Buffer
+	if err := nw.WriteJSONWith(&buf, rs); err != nil {
+		t.Fatal(err)
+	}
+	back, brs, err := ReadJSONWith(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if brs == nil {
+		t.Fatal("annotations lost in round trip")
+	}
+	if back.NumNodes() != nw.NumNodes() || back.NumLinks() != nw.NumLinks() {
+		t.Fatalf("graph changed: %d/%d nodes, %d/%d links",
+			back.NumNodes(), nw.NumNodes(), back.NumLinks(), nw.NumLinks())
+	}
+	if !reflect.DeepEqual(brs.LinkAnnotations(), rs.LinkAnnotations()) {
+		t.Fatal("relationship annotations changed in round trip")
+	}
+	// Serialization is canonical: writing the reconstructed pair must
+	// reproduce the file byte for byte.
+	var buf2 bytes.Buffer
+	if err := back.WriteJSONWith(&buf2, brs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("re-serialized annotated topology differs")
+	}
+}
+
+func TestJSONWithoutRelationshipsStaysPlain(t *testing.T) {
+	nw, _ := annotatedWorld(t)
+	var plain, with bytes.Buffer
+	if err := nw.WriteJSON(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.WriteJSONWith(&with, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain.Bytes(), with.Bytes()) {
+		t.Fatal("WriteJSONWith(nil) differs from WriteJSON")
+	}
+	if bytes.Contains(plain.Bytes(), []byte("relationships")) {
+		t.Fatal("plain file mentions relationships")
+	}
+	_, rs, err := ReadJSONWith(bytes.NewReader(plain.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs != nil {
+		t.Fatal("plain file produced annotations")
+	}
+}
+
+func TestReadJSONWithRejectsBadAnnotations(t *testing.T) {
+	nw, rs := annotatedWorld(t)
+	var buf bytes.Buffer
+	if err := nw.WriteJSONWith(&buf, rs); err != nil {
+		t.Fatal(err)
+	}
+	out := bytes.Replace(buf.Bytes(), []byte(`"rel": "peer"`), []byte(`"rel": "friend"`), 1)
+	if !bytes.Contains(buf.Bytes(), []byte(`"rel": "peer"`)) {
+		t.Skip("no peer link in this world; adjust the seed")
+	}
+	if _, _, err := ReadJSONWith(bytes.NewReader(out)); err == nil {
+		t.Fatal("unknown relationship name accepted")
+	}
+	out = bytes.Replace(buf.Bytes(), []byte(`"a": 0,`), []byte(`"a": 99999,`), 1)
+	if _, _, err := ReadJSONWith(bytes.NewReader(out)); err == nil {
+		t.Fatal("out-of-range annotation accepted")
+	}
+}
+
+func TestSpecBuildRelationships(t *testing.T) {
+	nw, _ := annotatedWorld(t)
+
+	rs, err := Spec{}.BuildRelationships(nw)
+	if err != nil || rs != nil {
+		t.Fatalf("empty mode: got %v, %v; want nil, nil", rs, err)
+	}
+
+	inferred, err := Spec{Relationships: RelModeInfer}.BuildRelationships(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := InferRelationships(nw, DefaultRelationshipRatio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(inferred.LinkAnnotations(), direct.LinkAnnotations()) {
+		t.Fatal("RelModeInfer default ratio disagrees with InferRelationships(1.5)")
+	}
+
+	ratio2, err := Spec{Relationships: RelModeInfer, RelationshipRatio: 2}.BuildRelationships(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct2, err := InferRelationships(nw, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ratio2.LinkAnnotations(), direct2.LinkAnnotations()) {
+		t.Fatal("explicit ratio ignored")
+	}
+
+	hier, err := Spec{Relationships: RelModeHierarchical}.BuildRelationships(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	directH, err := HierarchicalRelationships(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(hier.LinkAnnotations(), directH.LinkAnnotations()) {
+		t.Fatal("RelModeHierarchical disagrees with HierarchicalRelationships")
+	}
+
+	if _, err := (Spec{Relationships: "friend"}).BuildRelationships(nw); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}

@@ -1,6 +1,10 @@
 package topology
 
-import "fmt"
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
 
 // Rel is the business relationship of a neighbor from a node's point of
 // view, following the Gao–Rexford model.
@@ -26,6 +30,33 @@ func (r Rel) String() string {
 	default:
 		return "none"
 	}
+}
+
+// MarshalJSON encodes the relationship as its name, so annotation files
+// stay readable and stable if the enum ever gains values.
+func (r Rel) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.String())
+}
+
+// UnmarshalJSON decodes a relationship name written by MarshalJSON.
+func (r *Rel) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	switch s {
+	case "customer":
+		*r = RelCustomer
+	case "peer":
+		*r = RelPeer
+	case "provider":
+		*r = RelProvider
+	case "none":
+		*r = RelNone
+	default:
+		return fmt.Errorf("topology: unknown relationship %q", s)
+	}
+	return nil
 }
 
 // Relationships records the business relationship on every link, keyed
@@ -60,6 +91,46 @@ func (rs *Relationships) Of(a, b int) Rel {
 
 // Len returns the number of directed entries.
 func (rs *Relationships) Len() int { return len(rs.of) }
+
+// LinkRel is one undirected link's relationship annotation in canonical
+// orientation: A < B, and Rel is B's role from A's point of view (the
+// inverse direction is implied, exactly as Set records it).
+type LinkRel struct {
+	A   int `json:"a"`
+	B   int `json:"b"`
+	Rel Rel `json:"rel"`
+}
+
+// LinkAnnotations enumerates the relationship map as canonical link
+// annotations, sorted by (A, B). The enumeration is the serialization
+// contract: RelationshipsFromLinks(rs.LinkAnnotations()) reconstructs a
+// map with identical Of answers, and two Relationships values agree on
+// every pair iff their annotation lists are equal.
+func (rs *Relationships) LinkAnnotations() []LinkRel {
+	out := make([]LinkRel, 0, len(rs.of)/2)
+	for k, rel := range rs.of {
+		if k[0] < k[1] {
+			out = append(out, LinkRel{A: k[0], B: k[1], Rel: rel})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// RelationshipsFromLinks rebuilds a relationship map from canonical link
+// annotations (the inverse of LinkAnnotations).
+func RelationshipsFromLinks(links []LinkRel) *Relationships {
+	rs := NewRelationships()
+	for _, l := range links {
+		rs.Set(l.A, l.B, l.Rel)
+	}
+	return rs
+}
 
 // Validate checks pairwise consistency over the network's links.
 func (rs *Relationships) Validate(nw *Network) error {

@@ -60,8 +60,52 @@ type Spec struct {
 	// workers reconstruct identical multi-prefix scenarios from the spec
 	// alone.
 	PrefixesPerOrigin int `json:"prefixesPerOrigin,omitempty"`
+	// Relationships selects a deterministic Gao–Rexford annotation of the
+	// generated graph: "" (no policy), RelModeInfer (degree heuristic at
+	// RelationshipRatio), or RelModeHierarchical (BFS hierarchy, full
+	// valley-free reachability). Like PrefixesPerOrigin it does not change
+	// the graph — Build ignores it — but rides on the spec so one artifact
+	// names both the world and its policy: the scenario layer, distributed
+	// workers, and the snapshot backend all derive the same annotation
+	// from the spec alone (see BuildRelationships).
+	Relationships string `json:"relationships,omitempty"`
+	// RelationshipRatio is the degree ratio for RelModeInfer (0 selects
+	// DefaultRelationshipRatio).
+	RelationshipRatio float64 `json:"relationshipRatio,omitempty"`
 	// Custom skewed spec; used when Kind is empty and Skewed is non-nil.
 	Skewed *SkewedSpec `json:"skewed,omitempty"`
+}
+
+// Relationship annotation modes for Spec.Relationships.
+const (
+	RelModeInfer        = "infer"
+	RelModeHierarchical = "hierarchical"
+)
+
+// DefaultRelationshipRatio is the degree ratio RelModeInfer uses when
+// the spec leaves RelationshipRatio zero (the conventional 1.5).
+const DefaultRelationshipRatio = 1.5
+
+// BuildRelationships derives the spec's relationship annotation for a
+// network built from the same spec. It returns (nil, nil) when the spec
+// requests no annotation. The derivation is deterministic — no RNG — so
+// every consumer of a (spec, network) pair reconstructs the identical
+// relationship map.
+func (s Spec) BuildRelationships(nw *Network) (*Relationships, error) {
+	switch s.Relationships {
+	case "":
+		return nil, nil
+	case RelModeInfer:
+		ratio := s.RelationshipRatio
+		if ratio == 0 {
+			ratio = DefaultRelationshipRatio
+		}
+		return InferRelationships(nw, ratio)
+	case RelModeHierarchical:
+		return HierarchicalRelationships(nw)
+	default:
+		return nil, fmt.Errorf("topology: unknown relationship mode %q", s.Relationships)
+	}
 }
 
 // Build constructs a network from the spec using the supplied stream.
