@@ -137,6 +137,11 @@ func RandomFailure(count int) FailureSpec {
 // deploys 30s; the paper sweeps 0.25–4s).
 func ConstantMRAI(d time.Duration) Scheme { return experiment.ConstantMRAI(d) }
 
+// ParseScheme translates the compact scheme syntax shared by the CLI and
+// wire-encoded churn descriptors: mrai=<seconds> | degree=<low>,<high> |
+// dynamic | batch[=<seconds>] | batch+dynamic.
+func ParseScheme(s string) (Scheme, error) { return experiment.ParseScheme(s) }
+
 // DegreeDependentMRAI uses low at routers with degree below threshold
 // and high at the rest (Section 4.2).
 func DegreeDependentMRAI(threshold int, low, high time.Duration) Scheme {

@@ -15,6 +15,14 @@
 //	bgpfig -fig 3 -serve :9090 -checkpoint fig3.ckpt -o out/
 //	bgpfig -connect coordinator:9090      # on each worker machine
 //
+// Service mode keeps the coordinator alive as a long-running server
+// instead of running one figure and exiting: clients submit figure and
+// churn runs over HTTP (POST /v1/submit, e.g. via bgpsim -churn ...
+// -submit), query live per-window metrics (GET /v1/query), and a
+// minimal status page is served at /:
+//
+//	bgpfig -serve :9090 -service -checkpoint runs.ckpt
+//
 // Each figure is printed as an aligned text table (the same series the
 // paper plots); -o additionally writes one .txt per figure.
 package main
@@ -69,10 +77,11 @@ func run(args []string) error {
 		quiet    = fs.Bool("q", false, "suppress progress output")
 		fullScan = fs.Bool("fullscan", false, "disable the incremental decision process (pre-PR-5 baseline; output must be byte-identical)")
 
-		serve    = fs.String("serve", "", "coordinate a distributed run: listen on host:port and hand sweep cells to workers")
-		connect  = fs.String("connect", "", "run as a worker: pull sweep cells from the coordinator at host:port, then exit")
-		ckptPath = fs.String("checkpoint", "", "with -serve: record completed cells here and resume from it after a restart")
-		leaseTTL = fs.Duration("lease-ttl", 30*time.Second, "with -serve: reassign a cell if its worker is silent this long")
+		serve    = fs.String("serve", "", "coordinate a distributed run: listen on host:port and hand trial jobs to workers")
+		service  = fs.Bool("service", false, "with -serve: stay up as a long-running service accepting figure and churn submissions over HTTP instead of running -fig")
+		connect  = fs.String("connect", "", "run as a worker: pull trial jobs from the coordinator at host:port, then exit")
+		ckptPath = fs.String("checkpoint", "", "with -serve: record completed trials here and resume from it after a restart")
+		leaseTTL = fs.Duration("lease-ttl", 30*time.Second, "with -serve: reassign a trial if its worker is silent this long")
 	)
 	var prof profiling.Config
 	prof.AddFlags(fs)
@@ -104,6 +113,13 @@ func run(args []string) error {
 			w.Log = log.New(os.Stderr, "", log.LstdFlags)
 		}
 		return w.Work(ctx)
+	}
+
+	if *service {
+		if *serve == "" {
+			return fmt.Errorf("-service requires -serve")
+		}
+		return runService(ctx, *serve, *ckptPath, *leaseTTL, *quiet)
 	}
 
 	opts := bgpsim.PaperOptions()
@@ -216,6 +232,45 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// runService keeps a coordinator alive as a long-running service:
+// clients submit figure and churn runs over HTTP and the single drain
+// loop executes them in queue order until the process is signaled.
+func runService(ctx context.Context, addr, ckptPath string, leaseTTL time.Duration, quiet bool) error {
+	cc := dist.CoordinatorConfig{LeaseTTL: leaseTTL, CheckpointPath: ckptPath}
+	var logger *log.Logger
+	if !quiet {
+		logger = log.New(os.Stderr, "", log.LstdFlags)
+		cc.Log = logger
+	}
+	coord, err := dist.NewCoordinator(cc)
+	if err != nil {
+		return err
+	}
+	svc := dist.NewService(coord, logger)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	go func() {
+		if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "bgpfig: service server:", err)
+		}
+	}()
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "bgpfig: service on %s (submit: POST /v1/submit, status: GET /)\n", ln.Addr())
+	}
+	err = svc.Run(ctx)
+	coord.Shutdown()
+	sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	srv.Shutdown(sctx)
+	if errors.Is(err, context.Canceled) {
+		return nil // signaled: clean service exit
+	}
+	return err
 }
 
 // progressLine renders the "\r N/M cells" status line. The experiment

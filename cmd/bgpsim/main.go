@@ -7,14 +7,30 @@
 //	bgpsim -topo realistic -nodes 120 -fail 10 -scheme batch+dynamic -trials 5
 //	bgpsim -fail 10 -trials 8 -workers 4   # trials in parallel, same results
 //
+// Churn programs replace the single batch failure with a streaming
+// perturbation program; every event opens its own measurement window and
+// the per-window metric stream is printed (deterministic per seed):
+//
+//	bgpsim -churn poisson-link-flap -churn-rate 0.1 -churn-duration 60s
+//	bgpsim -churn rolling-outage -churn-regions 4 -churn-period 30s -churn-fraction 0.05
+//	bgpsim -churn flap-cycle -churn-cycles 5 -churn-period 20s -submit coordinator:9090
+//
+// With -submit the program is sent to a bgpfig -serve -service
+// coordinator instead of running locally: windows stream back live as
+// remote workers close them, and the final assembled stream is printed
+// (byte-identical to the local run).
+//
 // Schemes: mrai=<seconds>, degree=<low>,<high>, dynamic, batch[=<seconds>],
 // batch+dynamic.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -23,6 +39,8 @@ import (
 	"time"
 
 	"bgpsim"
+	"bgpsim/internal/churn"
+	"bgpsim/internal/dist"
 	"bgpsim/internal/profiling"
 	"bgpsim/internal/topology"
 )
@@ -49,6 +67,17 @@ func run(args []string, out *os.File) error {
 		shards   = fs.Int("shards", 0, "event-loop shards per simulation (0 or 1 = single engine; >= 2 is byte-identical in the default sequenced mode)")
 		shardCC  = fs.Bool("shard-concurrent", false, "with -shards: run shards on concurrent goroutines (own determinism class)")
 		warm     = fs.Bool("warmstart", false, "seed each trial from the snapshot backend's converged fixpoint instead of simulating initial convergence (same results, less wall clock)")
+
+		churnKind  = fs.String("churn", "", "run a churn program instead of a batch failure: poisson-link-flap | poisson-node-fail | rolling-outage | flap-cycle")
+		churnRate  = fs.Float64("churn-rate", 0.1, "poisson kinds: mean arrivals per simulated second")
+		churnDur   = fs.Duration("churn-duration", time.Minute, "poisson kinds: arrival horizon in simulated time")
+		churnHold  = fs.Duration("churn-hold-min", 4*time.Second, "minimum hold (down) time per perturbation")
+		churnHoldX = fs.Duration("churn-hold-max", 12*time.Second, "maximum hold (down) time per perturbation")
+		churnCyc   = fs.Int("churn-cycles", 4, "flap-cycle: repetition count")
+		churnPer   = fs.Duration("churn-period", 30*time.Second, "flap-cycle and rolling-outage: spacing between perturbations")
+		churnReg   = fs.Int("churn-regions", 3, "rolling-outage: region count sweeping the grid")
+		churnFrac  = fs.Float64("churn-fraction", 0.05, "rolling-outage: fraction of routers failing per region")
+		submitTo   = fs.String("submit", "", "with -churn: submit the program to a bgpfig -serve -service coordinator at host:port and stream results back")
 	)
 	var prof profiling.Config
 	prof.AddFlags(fs)
@@ -63,6 +92,49 @@ func run(args []string, out *os.File) error {
 	if err != nil {
 		return err
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *churnKind != "" {
+		if *policy {
+			return fmt.Errorf("-policy is not supported with -churn (churn programs run the default full-mesh policy)")
+		}
+		csc := churn.Scenario{
+			Topology: bgpsim.MultiPrefix(bgpsim.TopologySpec{Kind: topology.Kind(*topoKind), N: *nodes}, *prefixes),
+			Scheme:   *scheme,
+			Program: churn.Spec{
+				Kind:     churn.Kind(*churnKind),
+				Duration: *churnDur,
+				Rate:     *churnRate,
+				HoldMin:  *churnHold,
+				HoldMax:  *churnHoldX,
+				Cycles:   *churnCyc,
+				Period:   *churnPer,
+				Regions:  *churnReg,
+				Fraction: *churnFrac,
+			},
+			Seed:            *seed,
+			Shards:          *shards,
+			ShardConcurrent: *shardCC,
+			WarmStart:       *warm,
+		}
+		if err := csc.Program.Validate(); err != nil {
+			return err
+		}
+		if *submitTo != "" {
+			return submitChurn(ctx, *submitTo, dist.ChurnDesc{Scenario: csc, Trials: *trials}, out)
+		}
+		rr, err := churn.Run(ctx, csc, *trials, *workers, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, rr.Render())
+		return nil
+	}
+	if *submitTo != "" {
+		return fmt.Errorf("-submit requires -churn (figure submissions go through bgpfig)")
+	}
+
 	sc := bgpsim.Scenario{
 		Topology:           bgpsim.MultiPrefix(bgpsim.TopologySpec{Kind: topology.Kind(*topoKind), N: *nodes}, *prefixes),
 		Failure:            bgpsim.GeographicFailure(*failPct / 100),
@@ -73,8 +145,6 @@ func run(args []string, out *os.File) error {
 		WarmStart:          *warm,
 		Seed:               *seed,
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	st, err := bgpsim.RunTrialsContext(ctx, sc, *trials, *workers)
 	if err != nil {
 		return err
@@ -95,44 +165,84 @@ func run(args []string, out *os.File) error {
 	return nil
 }
 
-// parseScheme translates the CLI scheme syntax.
-func parseScheme(s string) (bgpsim.Scheme, error) {
-	switch {
-	case s == "dynamic":
-		return bgpsim.DynamicMRAI(), nil
-	case s == "batch+dynamic":
-		return bgpsim.BatchedDynamic(), nil
-	case s == "batch":
-		return bgpsim.BatchedProcessing(500 * time.Millisecond), nil
-	case strings.HasPrefix(s, "batch="):
-		d, err := parseSeconds(strings.TrimPrefix(s, "batch="))
-		if err != nil {
-			return bgpsim.Scheme{}, err
-		}
-		return bgpsim.BatchedProcessing(d), nil
-	case strings.HasPrefix(s, "mrai="):
-		d, err := parseSeconds(strings.TrimPrefix(s, "mrai="))
-		if err != nil {
-			return bgpsim.Scheme{}, err
-		}
-		return bgpsim.ConstantMRAI(d), nil
-	case strings.HasPrefix(s, "degree="):
-		parts := strings.Split(strings.TrimPrefix(s, "degree="), ",")
-		if len(parts) != 2 {
-			return bgpsim.Scheme{}, fmt.Errorf("degree scheme needs low,high seconds: %q", s)
-		}
-		low, err := parseSeconds(parts[0])
-		if err != nil {
-			return bgpsim.Scheme{}, err
-		}
-		high, err := parseSeconds(parts[1])
-		if err != nil {
-			return bgpsim.Scheme{}, err
-		}
-		return bgpsim.DegreeDependentMRAI(5, low, high), nil
-	default:
-		return bgpsim.Scheme{}, fmt.Errorf("unknown scheme %q", s)
+// submitChurn sends the churn program to a service-mode coordinator,
+// streams windows back as workers close them, and finally prints the
+// authoritative assembled metric stream (byte-identical to a local run
+// of the same scenario).
+func submitChurn(ctx context.Context, addr string, desc dist.ChurnDesc, out *os.File) error {
+	base := dist.BaseURL(addr)
+	client := &http.Client{Timeout: 30 * time.Second}
+	body, err := json.Marshal(dist.SubmitRequest{Churn: &desc})
+	if err != nil {
+		return err
 	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/submit", strings.NewReader(string(body)))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	var ack dist.SubmitResponse
+	if err := decodeReply(resp, &ack); err != nil {
+		return fmt.Errorf("submit: %w", err)
+	}
+	fmt.Fprintf(out, "submitted %s program as run %d to %s\n", desc.Scenario.Program.Kind, ack.ID, base)
+
+	seen := 0
+	query := base + "/v1/query?id=" + strconv.Itoa(ack.ID)
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(300 * time.Millisecond):
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, query, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		var info dist.SubmissionInfo
+		if err := decodeReply(resp, &info); err != nil {
+			return fmt.Errorf("query: %w", err)
+		}
+		for _, lw := range info.Windows[seen:] {
+			w := lw.Window
+			fmt.Fprintf(out, "  live trial=%d win=%d %-12s t=+%-8s delay=%.3fs msgs=%d\n",
+				lw.Trial, w.Index, w.Event, w.At, w.Delay.Seconds(), w.Announcements+w.Withdrawals)
+		}
+		seen = len(info.Windows)
+		switch info.State {
+		case dist.SubmissionDone:
+			fmt.Fprint(out, info.Result)
+			return nil
+		case dist.SubmissionFailed:
+			return fmt.Errorf("run %d failed: %s", ack.ID, info.Error)
+		}
+	}
+}
+
+// decodeReply decodes a JSON API response, folding non-200 statuses into
+// an error carrying the server's message.
+func decodeReply(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// parseScheme translates the CLI scheme syntax. The implementation lives
+// in the experiment package (ParseScheme) so churn descriptors can name
+// schemes over the wire with the identical syntax.
+func parseScheme(s string) (bgpsim.Scheme, error) {
+	return bgpsim.ParseScheme(s)
 }
 
 func parseSeconds(s string) (time.Duration, error) {

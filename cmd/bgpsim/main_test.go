@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 )
@@ -47,6 +49,56 @@ func TestParseSchemeErrors(t *testing.T) {
 		"degree=1", "degree=a,b", "batch=x"} {
 		if _, err := parseScheme(in); err == nil {
 			t.Errorf("parseScheme(%q) accepted", in)
+		}
+	}
+}
+
+// runToString drives run() with its output captured in a temp file.
+func runToString(t *testing.T, args []string) string {
+	t.Helper()
+	f, err := os.Create(filepath.Join(t.TempDir(), "out"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := run(args, f); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	b, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestChurnCLIDeterministic(t *testing.T) {
+	args := []string{"-nodes", "30", "-scheme", "mrai=0.5", "-trials", "2",
+		"-churn", "flap-cycle", "-churn-cycles", "2", "-churn-period", "20s",
+		"-churn-hold-min", "2s", "-churn-hold-max", "5s"}
+	first := runToString(t, args)
+	if first == "" {
+		t.Fatal("churn run printed nothing")
+	}
+	if second := runToString(t, append(args, "-workers", "4")); second != first {
+		t.Errorf("churn output depends on worker count:\n--- workers=default ---\n%s--- workers=4 ---\n%s", first, second)
+	}
+}
+
+func TestChurnCLIRejectsBadFlags(t *testing.T) {
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer null.Close()
+	bad := [][]string{
+		{"-churn", "no-such-kind"},
+		{"-churn", "poisson-link-flap", "-churn-rate", "-1"},
+		{"-churn", "flap-cycle", "-policy"},
+		{"-submit", "localhost:1"}, // -submit without -churn
+	}
+	for _, args := range bad {
+		if err := run(args, null); err == nil {
+			t.Errorf("run(%v) accepted", args)
 		}
 	}
 }

@@ -1,17 +1,22 @@
-// Command bgpwork is a sweep worker for distributed figure runs: it
-// pulls cell jobs from a bgpfig -serve coordinator, executes them with
-// the local simulator, pushes back results, and exits when the
-// coordinator shuts down or goes away.
+// Command bgpwork is a worker for distributed runs: it pulls trial jobs
+// (sweep trials or churn trials) from a bgpfig -serve coordinator,
+// executes them with the local simulator, pushes back results, and
+// exits when the coordinator shuts down or goes away.
 //
 // Usage:
 //
 //	bgpwork -connect coordinator:9090
 //	bgpwork -connect coordinator:9090 -id rack3 -workers 8
 //
-// Results are deterministic by construction (cell seeds derive from grid
-// indices), so any mix of bgpwork processes produces figures
-// byte-identical to a local bgpfig run. Coordinator and workers must be
-// built from the same source.
+// The first SIGTERM/SIGINT drains the worker gracefully: the in-flight
+// trial finishes and its result is submitted before the process exits,
+// so no lease has to expire. A second signal aborts immediately (the
+// lease expires and the trial is reassigned).
+//
+// Results are deterministic by construction (trial seeds derive from
+// grid indices or the churn scenario seed), so any mix of bgpwork
+// processes produces artifacts byte-identical to a local run.
+// Coordinator and workers must be built from the same source.
 package main
 
 import (
@@ -57,9 +62,6 @@ func run(args []string) error {
 	}
 	defer prof.Stop()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
 	w := &dist.Worker{
 		Base:         dist.BaseURL(*connect),
 		ID:           *id,
@@ -69,5 +71,21 @@ func run(args []string) error {
 	if !*quiet {
 		w.Log = log.New(os.Stderr, "", log.LstdFlags)
 	}
+
+	// First signal: graceful drain (finish and submit the in-flight
+	// trial, then exit). Second signal: hard cancel.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "bgpwork: draining — finishing in-flight trial (signal again to abort)")
+		w.Drain()
+		<-sigc
+		cancel()
+	}()
+
 	return w.Work(ctx)
 }

@@ -26,6 +26,7 @@ import (
 
 	"bgpsim"
 	"bgpsim/internal/bgp"
+	"bgpsim/internal/churn"
 	"bgpsim/internal/des"
 	"bgpsim/internal/dist"
 	"bgpsim/internal/experiment"
@@ -117,6 +118,7 @@ func Suite() []Entry {
 		{"DESHeapMRAIHorizon", desHeapMRAIHorizon},
 		{"DESCalendarMRAIHorizon", desCalendarMRAIHorizon},
 		{"DistDispatch", distDispatch},
+		{"ChurnStep", churnStep},
 	}
 }
 
@@ -378,6 +380,41 @@ func distDispatch(b *testing.B) {
 	if err := <-done; err != nil {
 		b.Fatal(err)
 	}
+}
+
+// churnStep measures the always-on churn path: one churn trial per
+// iteration — initial convergence (pooled simulator, memoized topology),
+// then a fixed flap-cycle program streamed through the absolute-time
+// control path with a measurement window normalized per event. The
+// windows/op metric makes the per-window cost explicit: ns_op divided by
+// windows/op is what one churn perturbation costs end to end, the
+// steady-state unit of work a service-mode coordinator dispatches.
+func churnStep(b *testing.B) {
+	sc := churn.Scenario{
+		Topology: bgpsim.Skewed7030(60),
+		Scheme:   "mrai=0.5",
+		Program: churn.Spec{
+			Kind:    churn.FlapCycle,
+			Cycles:  3,
+			Period:  20 * time.Second,
+			HoldMin: 2 * time.Second,
+			HoldMax: 5 * time.Second,
+		},
+		Seed: 1,
+	}
+	runner := churn.NewRunner()
+	windows := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, err := runner.RunTrial(context.Background(), sc, i, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		windows += len(tr.Windows)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(windows)/float64(b.N), "windows/op")
 }
 
 // protocolRoundTrip drives one coordinator exchange through the recorder.

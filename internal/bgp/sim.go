@@ -765,19 +765,8 @@ const SettleMargin = 5 * time.Second
 // failure time (normalizeWindow) makes the two starts indistinguishable
 // from the measurement window onward.
 func (s *Simulator) ConvergeAndFail(nodes []int) (time.Duration, error) {
-	if s.params.WarmStart {
-		if err := s.warmStart(); err != nil {
-			return 0, fmt.Errorf("warm start: %w", err)
-		}
-	} else {
-		s.Start()
-		if err := s.Run(); err != nil {
-			return 0, fmt.Errorf("initial convergence: %w", err)
-		}
-		// Quiescence is the one moment the live path set is exactly the
-		// RIB contents; shed the exploration storm's dead paths before
-		// phase 2 piles its own on top.
-		s.maybeCompactPaths()
+	if err := s.ConvergeInitial(); err != nil {
+		return 0, err
 	}
 	failAt := s.Now() + SettleMargin
 	s.ScheduleFailure(failAt, nodes)

@@ -8,43 +8,65 @@ import (
 	"os"
 	"path/filepath"
 
+	"bgpsim/internal/churn"
 	"bgpsim/internal/experiment"
 )
 
-// checkpointSchema identifies the checkpoint file format.
-const checkpointSchema = "bgpsim/dist/checkpoint/v1"
+// Checkpoint schema identifiers. v1 recorded sweep results at cell
+// granularity (one entry per (series, x) with all trials inline); v2
+// records at trial granularity and adds churn runs. loadCheckpoint
+// migrates v1 files in place so an operator upgrading mid-sweep keeps
+// the completed work.
+const (
+	checkpointSchema   = "bgpsim/dist/checkpoint/v2"
+	checkpointSchemaV1 = "bgpsim/dist/checkpoint/v1"
+)
 
-// checkpointFile is the on-disk resume state: completed cells per sweep,
-// keyed by the sweep descriptor fingerprint (SweepDesc.Key), so one file
-// can carry a whole `-fig all` run across restarts and a checkpoint
-// recorded for one grid can never be replayed into a different one.
+// checkpointFile is the on-disk resume state: completed trial jobs per
+// run, keyed by the descriptor fingerprint (SweepDesc.Key or
+// ChurnDesc.Key), so one file can carry a whole `-fig all` run across
+// restarts and a checkpoint recorded for one grid can never be replayed
+// into a different one.
 type checkpointFile struct {
 	// Schema is checkpointSchema.
 	Schema string `json:"schema"`
-	// Sweeps maps SweepDesc.Key() to that sweep's completed cells.
+	// Sweeps maps SweepDesc.Key() to that sweep's completed trial jobs.
 	Sweeps map[string]*sweepCheckpoint `json:"sweeps"`
+	// Churn maps ChurnDesc.Key() to that churn run's completed trials.
+	Churn map[string]*churnCheckpoint `json:"churn,omitempty"`
 }
 
-// sweepCheckpoint is one sweep's completed cells.
+// sweepCheckpoint is one sweep's completed trial jobs.
 type sweepCheckpoint struct {
 	// Desc is the full descriptor, kept for human debugging (the map
 	// key is its hash).
 	Desc SweepDesc `json:"desc"`
-	// Done lists completed cells in completion order.
+	// Done lists completed trial jobs in completion order.
 	Done []doneJob `json:"done"`
 }
 
-// doneJob is one completed cell's recorded results.
+// churnCheckpoint is one churn run's completed trials.
+type churnCheckpoint struct {
+	Desc ChurnDesc `json:"desc"`
+	Done []doneJob `json:"done"`
+}
+
+// doneJob is one completed trial job's recorded payload: Results (one
+// entry) for sweep trial jobs, Trial for churn trials.
 type doneJob struct {
-	// ID is the cell index (Job.ID).
+	// ID is the trial job index (Job.ID).
 	ID int `json:"id"`
-	// Results holds the cell's per-trial results in trial order.
-	Results []experiment.Result `json:"results"`
+	// Results holds the sweep trial's result as a one-entry slice.
+	Results []experiment.Result `json:"results,omitempty"`
+	// Trial holds a churn trial's window stream.
+	Trial *churn.TrialResult `json:"trial,omitempty"`
 }
 
 // loadCheckpoint reads path; a missing file is an empty checkpoint, a
 // present-but-unreadable or wrong-schema file is an error (silently
 // ignoring one would redo — and double-write — a half-finished sweep).
+// v1 files are migrated to v2 in memory; the migrated form is written
+// back the next time the checkpoint saves.
 func loadCheckpoint(path string) (*checkpointFile, error) {
 	empty := &checkpointFile{Schema: checkpointSchema, Sweeps: map[string]*sweepCheckpoint{}}
 	data, err := os.ReadFile(path)
@@ -58,13 +80,51 @@ func loadCheckpoint(path string) (*checkpointFile, error) {
 	if err := json.Unmarshal(data, &ck); err != nil {
 		return nil, fmt.Errorf("dist: parse checkpoint %s: %w", path, err)
 	}
-	if ck.Schema != checkpointSchema {
+	switch ck.Schema {
+	case checkpointSchema:
+	case checkpointSchemaV1:
+		migrateV1(&ck)
+	default:
 		return nil, fmt.Errorf("dist: checkpoint %s has schema %q, want %q", path, ck.Schema, checkpointSchema)
 	}
 	if ck.Sweeps == nil {
 		ck.Sweeps = map[string]*sweepCheckpoint{}
 	}
 	return &ck, nil
+}
+
+// migrateV1 rewrites a v1 checkpoint (cell-granularity sweep entries,
+// no churn section) into v2 trial granularity: each completed cell with
+// Trials results expands into Trials per-trial entries with
+// ID = cellID·Trials + t. Descriptors are re-stamped with the current
+// protocol version and re-keyed (the fingerprint covers the protocol
+// string). Entries that don't fit their grid are dropped rather than
+// trusted — the owning sweep just redoes that cell.
+func migrateV1(ck *checkpointFile) {
+	migrated := map[string]*sweepCheckpoint{}
+	for _, sc := range ck.Sweeps {
+		trials := sc.Desc.Grid.Trials
+		if trials <= 0 {
+			continue
+		}
+		desc := sc.Desc
+		desc.Protocol = ProtocolVersion
+		out := &sweepCheckpoint{Desc: desc}
+		for _, d := range sc.Done {
+			if len(d.Results) != trials {
+				continue
+			}
+			for t := 0; t < trials; t++ {
+				out.Done = append(out.Done, doneJob{
+					ID:      d.ID*trials + t,
+					Results: []experiment.Result{d.Results[t]},
+				})
+			}
+		}
+		migrated[desc.Key()] = out
+	}
+	ck.Schema = checkpointSchema
+	ck.Sweeps = migrated
 }
 
 // save writes the checkpoint atomically (temp file + rename in the
@@ -96,7 +156,7 @@ func (ck *checkpointFile) save(path string) error {
 	return nil
 }
 
-// record appends a completed cell under the sweep key.
+// record appends a completed sweep trial job under the sweep key.
 func (ck *checkpointFile) record(key string, desc SweepDesc, jobID int, results []experiment.Result) {
 	sc := ck.Sweeps[key]
 	if sc == nil {
@@ -104,4 +164,17 @@ func (ck *checkpointFile) record(key string, desc SweepDesc, jobID int, results 
 		ck.Sweeps[key] = sc
 	}
 	sc.Done = append(sc.Done, doneJob{ID: jobID, Results: results})
+}
+
+// recordChurn appends a completed churn trial under the run key.
+func (ck *checkpointFile) recordChurn(key string, desc ChurnDesc, jobID int, trial *churn.TrialResult) {
+	if ck.Churn == nil {
+		ck.Churn = map[string]*churnCheckpoint{}
+	}
+	cc := ck.Churn[key]
+	if cc == nil {
+		cc = &churnCheckpoint{Desc: desc}
+		ck.Churn[key] = cc
+	}
+	cc.Done = append(cc.Done, doneJob{ID: jobID, Trial: trial})
 }

@@ -1,0 +1,235 @@
+package dist
+
+import (
+	"context"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"bgpsim/internal/churn"
+	"bgpsim/internal/experiment"
+	"bgpsim/internal/topology"
+)
+
+// testChurnScenario is the small churn program the distributed tests
+// stream: a 30-node grid under a short Poisson link-flap program.
+func testChurnScenario() churn.Scenario {
+	return churn.Scenario{
+		Topology: topology.Spec{Kind: topology.KindSkewed7030, N: 30},
+		Scheme:   "mrai=0.5",
+		Program: churn.Spec{Kind: churn.PoissonLinkFlap, Rate: 0.1, Duration: 40 * time.Second,
+			HoldMin: 4 * time.Second, HoldMax: 8 * time.Second},
+		Seed: 11,
+	}
+}
+
+type churnOut struct {
+	rr  churn.RunResult
+	err error
+}
+
+// TestDistributedChurnByteIdenticalToLocal is the PR 9 acceptance pin:
+// a churn metric stream produced by a coordinator and two real workers
+// over localhost HTTP must render byte-identical to a single-process
+// churn.Run of the same scenario, and the coordinator must observe the
+// per-window stream while trials are still running.
+func TestDistributedChurnByteIdenticalToLocal(t *testing.T) {
+	sc := testChurnScenario()
+	const trials = 3
+	local, err := churn.Run(context.Background(), sc, trials, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := local.Render()
+
+	coord, err := NewCoordinator(CoordinatorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var reports []WindowReport
+	coord.OnWindow = func(rep WindowReport) {
+		mu.Lock()
+		reports = append(reports, rep)
+		mu.Unlock()
+	}
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	ctx := context.Background()
+	out := make(chan churnOut, 1)
+	go func() {
+		rr, err := coord.RunChurn(ctx, ChurnDesc{Scenario: sc, Trials: trials})
+		out <- churnOut{rr, err}
+	}()
+	w1 := startWorker(ctx, srv.URL, "w1")
+	w2 := startWorker(ctx, srv.URL, "w2")
+
+	r := <-out
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	coord.Shutdown()
+	for i, errc := range []chan error{w1, w2} {
+		if err := <-errc; err != nil {
+			t.Errorf("worker %d exit: %v", i+1, err)
+		}
+	}
+	if got := r.rr.Render(); got != want {
+		t.Errorf("distributed churn stream differs from local:\n--- distributed ---\n%s--- local ---\n%s", got, want)
+	}
+
+	// The advisory window stream saw every window of every trial (no
+	// reassignments happened, so no window streamed twice), each report
+	// carrying live per-router state.
+	windows := 0
+	for _, tr := range r.rr.Trials {
+		windows += len(tr.Windows)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(reports) != windows {
+		t.Errorf("streamed %d window reports, assembled %d windows", len(reports), windows)
+	}
+	for _, rep := range reports {
+		if rep.Trial < 0 || rep.Trial >= trials {
+			t.Errorf("report names trial %d of %d", rep.Trial, trials)
+		}
+		if len(rep.PerNodeSent) != sc.Topology.N {
+			t.Errorf("report carries %d per-node counts, want %d", len(rep.PerNodeSent), sc.Topology.N)
+		}
+	}
+}
+
+// TestDistributedChurnResumesAcrossRestart kills the coordinator after
+// one trial completes and restarts it against the same checkpoint: only
+// the unfinished trials are redone, and the assembled stream is still
+// byte-identical to the local run.
+func TestDistributedChurnResumesAcrossRestart(t *testing.T) {
+	sc := testChurnScenario()
+	const trials = 3
+	local, err := churn.Run(context.Background(), sc, trials, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := local.Render()
+	path := t.TempDir() + "/checkpoint.json"
+	desc := ChurnDesc{Scenario: sc, Trials: trials}
+
+	// First life: a lone worker finishes exactly trial job 0, then the
+	// coordinator dies mid-program.
+	coordA, err := NewCoordinator(CoordinatorConfig{CheckpointPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxA, cancelA := context.WithCancel(context.Background())
+	outA := make(chan churnOut, 1)
+	go func() {
+		rr, err := coordA.RunChurn(ctxA, desc)
+		outA <- churnOut{rr, err}
+	}()
+	hA := coordA.Handler()
+	l, ok := tryLease(hA, "w")
+	if !ok {
+		t.Fatal("no churn job leased")
+	}
+	if l.Churn == nil || l.Desc != nil {
+		t.Fatalf("churn lease carries desc=%v churn=%v, want churn only", l.Desc, l.Churn)
+	}
+	tr, err := churn.NewRunner().RunTrial(context.Background(), l.Churn.Scenario, l.Job.Trial, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ack CompleteResponse
+	code := postJSON(t, hA, "/v1/complete", CompleteRequest{
+		Worker: "w", SweepID: l.SweepID, JobID: l.Job.ID, Lease: l.Lease, TrialResult: &tr,
+	}, &ack)
+	if code != 200 || ack.Status != StatusOK {
+		t.Fatalf("churn completion = (%d, %q)", code, ack.Status)
+	}
+	cancelA()
+	if r := <-outA; r.err == nil {
+		t.Fatal("interrupted churn run reported success")
+	}
+
+	// Second life: same program, same checkpoint. The finished trial is
+	// restored, the remaining two are redone by real workers.
+	coordB, err := NewCoordinator(CoordinatorConfig{CheckpointPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coordB.Handler())
+	defer srv.Close()
+	ctx := context.Background()
+	outB := make(chan churnOut, 1)
+	go func() {
+		rr, err := coordB.RunChurn(ctx, desc)
+		outB <- churnOut{rr, err}
+	}()
+	wc := startWorker(ctx, srv.URL, "w")
+	r := <-outB
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	coordB.Shutdown()
+	if err := <-wc; err != nil {
+		t.Errorf("worker exit: %v", err)
+	}
+	if got := r.rr.Render(); got != want {
+		t.Errorf("resumed churn stream differs from local:\n--- resumed ---\n%s--- local ---\n%s", got, want)
+	}
+	if st := coordB.Stats(); st.Dispatched != trials-1 {
+		t.Errorf("resumed run dispatched %d jobs, want %d", st.Dispatched, trials-1)
+	}
+}
+
+// TestWorkerDrainFinishesInFlightTrial pins the graceful-drain contract:
+// Drain called while a job is executing lets the job finish and submit,
+// then the worker exits cleanly without leasing more work.
+func TestWorkerDrainFinishesInFlightTrial(t *testing.T) {
+	coord, err := NewCoordinator(CoordinatorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	ctx := context.Background()
+	out := make(chan sweepOut, 1)
+	go func() {
+		fig, err := coord.RunSweep(ctx, "test", 0, Options{}, testSweepCfg(nil))
+		out <- sweepOut{fig, err}
+	}()
+
+	w := &Worker{Base: srv.URL, ID: "draining", PollInterval: time.Millisecond}
+	w.Runner = func(_ context.Context, _ SweepDesc, job Job) ([]experiment.Result, error) {
+		w.Drain() // SIGTERM arrives mid-trial
+		return trialResults(job.ID), nil
+	}
+	if err := w.Work(ctx); err != nil {
+		t.Fatalf("drained Work = %v, want nil", err)
+	}
+	st := coord.Stats()
+	if st.Done != 1 {
+		t.Errorf("Done = %d after drain, want 1 (the in-flight trial submitted)", st.Done)
+	}
+	if st.Dispatched != 1 {
+		t.Errorf("Dispatched = %d after drain, want 1 (no further leases)", st.Dispatched)
+	}
+
+	// The remaining jobs are still completable by another worker.
+	h := coord.Handler()
+	for i := 0; i < 11; i++ {
+		l, ok := tryLease(h, "w2")
+		if !ok {
+			t.Fatal("remaining job not leased")
+		}
+		if st := completeJob(t, h, l, trialResults(l.Job.ID)); st != StatusOK {
+			t.Fatalf("complete job %d ack = %q", l.Job.ID, st)
+		}
+	}
+	if r := <-out; r.err != nil {
+		t.Fatal(r.err)
+	}
+}

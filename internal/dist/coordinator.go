@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"bgpsim/internal/churn"
 	"bgpsim/internal/core"
 	"bgpsim/internal/experiment"
 )
@@ -18,11 +19,12 @@ import (
 // leases, no checkpoint, wall clock, silent log.
 type CoordinatorConfig struct {
 	// LeaseTTL is how long a worker holds a job before it may be
-	// reassigned; it should comfortably exceed the slowest cell
-	// (default 30s — paper-scale cells run in seconds).
+	// reassigned; it should comfortably exceed the slowest trial
+	// (default 30s — paper-scale trials run in seconds).
 	LeaseTTL time.Duration
-	// CheckpointPath, when set, persists completed cells after every
-	// completion so an interrupted sweep resumes without redoing them.
+	// CheckpointPath, when set, persists completed trial jobs after
+	// every completion so an interrupted run resumes without redoing
+	// them.
 	CheckpointPath string
 	// Clock overrides time.Now (fake clocks in tests).
 	Clock func() time.Time
@@ -31,33 +33,46 @@ type CoordinatorConfig struct {
 	Log *log.Logger
 }
 
-// Coordinator owns the server half of the protocol: it turns sweeps
-// into job tables, leases jobs to workers over HTTP, verifies and
-// records completions, and merges results into figures. One sweep is
-// active at a time (experiments run their sweeps sequentially); workers
-// polling between sweeps are told to wait. All state is guarded by one
-// mutex — request handlers do table lookups and JSON, never simulation
-// work, so the lock is never held long.
+// Coordinator owns the server half of the protocol: it turns sweeps and
+// churn programs into trial-job tables, leases jobs to workers over
+// HTTP, verifies and records completions, and merges results into
+// figures or churn streams. One run is active at a time (the service
+// layer serializes submissions); workers polling between runs are told
+// to wait. All state is guarded by one mutex — request handlers do
+// table lookups and JSON, never simulation work, so the lock is never
+// held long.
 type Coordinator struct {
 	leaseTTL time.Duration
 	ckptPath string
 	now      func() time.Time
 	log      *log.Logger
 
+	// OnWindow, when set before any run starts, receives advisory
+	// per-window reports streamed by churn workers via POST /v1/window.
+	// It is invoked under the coordinator mutex, so it must be cheap
+	// (the service layer copies into its own buffers). Reports are
+	// best-effort: a worker crash between a window closing and the
+	// trial completing re-streams that trial's windows on reassignment.
+	OnWindow func(WindowReport)
+
 	mu         sync.Mutex
-	cur        *sweepRun
+	cur        *activeRun
 	seq        int64
 	shutdown   bool
 	ckpt       *checkpointFile
 	dispatched int64
 }
 
-// sweepRun is the coordinator's state for one active sweep.
-type sweepRun struct {
+// activeRun is the coordinator's state for one active run — either a
+// sweep (desc/cfg set) or a churn program (cdesc set). Jobs are trials
+// in both cases: a sweep's job ID is cell·Trials + trial, a churn run's
+// job ID is the trial index.
+type activeRun struct {
 	id       int64
-	desc     SweepDesc
 	key      string
-	cfg      experiment.SweepConfig
+	desc     SweepDesc              // sweep runs
+	cfg      experiment.SweepConfig // sweep runs
+	cdesc    *ChurnDesc             // churn runs
 	table    *leaseTable
 	total    int
 	resumed  int
@@ -94,13 +109,71 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	return c, nil
 }
 
-// RunSweep executes cfg through remote workers: it publishes the grid as
-// jobs, blocks until every cell's results are in (or ctx is canceled, or
-// a worker reports a failure), and merges them into the figure in fixed
-// (series, x, trial) order — byte-identical to a local Sweep of the same
-// cfg. expID, sweepIndex, and wire address the grid for workers; cfg is
-// the coordinator's own copy (its Cell closure is never invoked — cells
-// are materialized worker-side).
+// install registers run as the active run, preloading checkpointed
+// trial jobs via restore (which maps a doneJob to a payload, or returns
+// false to drop the entry). Caller must not hold c.mu.
+func (c *Coordinator) install(run *activeRun, done []doneJob, restore func(doneJob) (jobPayload, bool)) error {
+	run.table = newLeaseTable(run.total, c.leaseTTL, c.now)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.shutdown {
+		return fmt.Errorf("dist: coordinator is shut down")
+	}
+	if c.cur != nil {
+		return fmt.Errorf("dist: a run is already active")
+	}
+	c.seq++
+	run.id = c.seq
+	// Resume: preload trial jobs this run already completed in a
+	// previous coordinator life. Entries that don't fit (corrupt or
+	// hand-edited checkpoint) are dropped rather than trusted.
+	for _, d := range done {
+		payload, ok := jobPayload{}, false
+		if d.ID >= 0 && d.ID < run.total {
+			payload, ok = restore(d)
+		}
+		if !ok {
+			c.log.Printf("dist: checkpoint entry for job %d ignored", d.ID)
+			continue
+		}
+		run.table.markDone(d.ID, payload)
+	}
+	run.resumed = run.table.done
+	if run.resumed > 0 {
+		c.log.Printf("dist: run %d: resumed %d/%d trial jobs from checkpoint", run.id, run.resumed, run.total)
+	}
+	c.cur = run
+	if run.table.remaining() == 0 {
+		close(run.finished)
+	}
+	return nil
+}
+
+// waitAndDetach blocks until the run finishes or ctx cancels, then
+// clears the active-run slot and returns the run's error.
+func (c *Coordinator) waitAndDetach(ctx context.Context, run *activeRun) error {
+	select {
+	case <-ctx.Done():
+		c.mu.Lock()
+		c.cur = nil
+		c.mu.Unlock()
+		return ctx.Err()
+	case <-run.finished:
+	}
+	c.mu.Lock()
+	c.cur = nil
+	err := run.err
+	c.mu.Unlock()
+	return err
+}
+
+// RunSweep executes cfg through remote workers: it publishes the grid
+// as trial jobs, blocks until every trial's result is in (or ctx is
+// canceled, or a worker reports a failure), and merges them into the
+// figure in fixed (series, x, trial) order — byte-identical to a local
+// Sweep of the same cfg. expID, sweepIndex, and wire address the grid
+// for workers; cfg is the coordinator's own copy (its Cell closure is
+// never invoked — trials are materialized worker-side).
 func (c *Coordinator) RunSweep(ctx context.Context, expID string, sweepIndex int, wire Options, cfg experiment.SweepConfig) (experiment.Figure, error) {
 	cfg, err := experiment.NormalizeSweep(cfg)
 	if err != nil {
@@ -113,72 +186,81 @@ func (c *Coordinator) RunSweep(ctx context.Context, expID string, sweepIndex int
 		Options:    wire,
 		Grid:       Grid{Series: len(cfg.SeriesNames), Xs: len(cfg.Xs), Trials: cfg.Trials},
 	}
-	run := &sweepRun{
+	run := &activeRun{
 		desc:     desc,
 		key:      desc.Key(),
 		cfg:      cfg,
-		total:    desc.Grid.Series * desc.Grid.Xs,
+		total:    desc.Grid.Series * desc.Grid.Xs * desc.Grid.Trials,
 		finished: make(chan struct{}),
 	}
-	run.table = newLeaseTable(run.total, c.leaseTTL, c.now)
-
-	c.mu.Lock()
-	if c.shutdown {
-		c.mu.Unlock()
-		return experiment.Figure{}, fmt.Errorf("dist: coordinator is shut down")
-	}
-	if c.cur != nil {
-		c.mu.Unlock()
-		return experiment.Figure{}, fmt.Errorf("dist: a sweep is already active")
-	}
-	c.seq++
-	run.id = c.seq
-	// Resume: preload cells this sweep already completed in a previous
-	// coordinator life. Entries that don't fit the grid (corrupt or
-	// hand-edited checkpoint) are dropped rather than trusted.
+	var done []doneJob
 	if sc := c.ckpt.Sweeps[run.key]; sc != nil {
-		for _, d := range sc.Done {
-			if d.ID < 0 || d.ID >= run.total || len(d.Results) != cfg.Trials {
-				c.log.Printf("dist: checkpoint entry for job %d ignored (grid %+v)", d.ID, desc.Grid)
-				continue
-			}
-			run.table.markDone(d.ID, d.Results)
+		done = sc.Done
+	}
+	if err := c.install(run, done, func(d doneJob) (jobPayload, bool) {
+		if len(d.Results) != 1 || d.Trial != nil {
+			return jobPayload{}, false
 		}
-		run.resumed = run.table.done
-		if run.resumed > 0 {
-			c.log.Printf("dist: sweep %d (%s): resumed %d/%d cells from checkpoint", run.id, expID, run.resumed, run.total)
-			if cfg.Progress != nil {
-				cfg.Progress(run.resumed, run.total)
-			}
-		}
-	}
-	c.cur = run
-	if run.table.remaining() == 0 {
-		close(run.finished)
-	}
-	c.mu.Unlock()
-
-	select {
-	case <-ctx.Done():
-		c.mu.Lock()
-		c.cur = nil
-		c.mu.Unlock()
-		return experiment.Figure{}, ctx.Err()
-	case <-run.finished:
-	}
-
-	c.mu.Lock()
-	c.cur = nil
-	err = run.err
-	perCell := make([][]experiment.Result, run.total)
-	for i := range run.table.jobs {
-		perCell[i] = run.table.jobs[i].results
-	}
-	c.mu.Unlock()
-	if err != nil {
+		return jobPayload{results: d.Results}, true
+	}); err != nil {
 		return experiment.Figure{}, err
 	}
+	if run.resumed > 0 && cfg.Progress != nil {
+		cfg.Progress(run.resumed, run.total)
+	}
+	if err := c.waitAndDetach(ctx, run); err != nil {
+		return experiment.Figure{}, err
+	}
+	// Reassemble per-cell trial slices from the per-trial jobs: job IDs
+	// are cell·Trials + trial, so walking jobs in ID order fills each
+	// cell's trials in trial order.
+	trials := cfg.Trials
+	perCell := make([][]experiment.Result, desc.Grid.Series*desc.Grid.Xs)
+	for i := range run.table.jobs {
+		perCell[i/trials] = append(perCell[i/trials], run.table.jobs[i].payload.results...)
+	}
 	return experiment.AssembleFigure(cfg, perCell)
+}
+
+// RunChurn executes a churn program through remote workers: each trial
+// is one job, completed trials carry the full window stream, and the
+// assembled RunResult is byte-identical (Render) to a local churn.Run
+// of the same scenario. Like sweeps, churn runs checkpoint-resume: a
+// coordinator restart mid-program redoes only the unfinished trials.
+func (c *Coordinator) RunChurn(ctx context.Context, desc ChurnDesc) (churn.RunResult, error) {
+	if desc.Trials <= 0 {
+		return churn.RunResult{}, fmt.Errorf("dist: churn run needs at least one trial")
+	}
+	if err := desc.Scenario.Program.Validate(); err != nil {
+		return churn.RunResult{}, err
+	}
+	desc.Protocol = ProtocolVersion
+	run := &activeRun{
+		key:      desc.Key(),
+		cdesc:    &desc,
+		total:    desc.Trials,
+		finished: make(chan struct{}),
+	}
+	var done []doneJob
+	if cc := c.ckpt.Churn[run.key]; cc != nil {
+		done = cc.Done
+	}
+	if err := c.install(run, done, func(d doneJob) (jobPayload, bool) {
+		if d.Trial == nil || len(d.Results) != 0 || d.Trial.Trial != d.ID {
+			return jobPayload{}, false
+		}
+		return jobPayload{trial: d.Trial}, true
+	}); err != nil {
+		return churn.RunResult{}, err
+	}
+	if err := c.waitAndDetach(ctx, run); err != nil {
+		return churn.RunResult{}, err
+	}
+	rr := churn.RunResult{Scenario: desc.Scenario, Trials: make([]churn.TrialResult, run.total)}
+	for i := range run.table.jobs {
+		rr.Trials[i] = *run.table.jobs[i].payload.trial
+	}
+	return rr, nil
 }
 
 // SweeperFor adapts the coordinator into the experiment.Sweeper hook for
@@ -197,8 +279,8 @@ func (c *Coordinator) SweeperFor(ctx context.Context, expID string, opts core.Op
 }
 
 // Shutdown tells polling workers to exit: subsequent lease requests
-// answer StatusShutdown and new sweeps are refused. It does not stop an
-// active sweep; call it after the figure pipeline finishes.
+// answer StatusShutdown and new runs are refused. It does not stop an
+// active run; call it after the figure pipeline finishes.
 func (c *Coordinator) Shutdown() {
 	c.mu.Lock()
 	c.shutdown = true
@@ -216,16 +298,18 @@ func (c *Coordinator) Stats() StatusResponse {
 		st.Total = c.cur.total
 		st.Done = c.cur.table.done
 		st.Resumed = c.cur.resumed
+		st.Churn = c.cur.cdesc != nil
 	}
 	return st
 }
 
 // Handler returns the protocol's HTTP handler: POST /v1/lease, POST
-// /v1/complete, GET /v1/status.
+// /v1/complete, POST /v1/window, GET /v1/status.
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/lease", c.handleLease)
 	mux.HandleFunc("POST /v1/complete", c.handleComplete)
+	mux.HandleFunc("POST /v1/window", c.handleWindow)
 	mux.HandleFunc("GET /v1/status", c.handleStatus)
 	return mux
 }
@@ -242,21 +326,29 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	case c.shutdown:
 		resp.Status = StatusShutdown
 	case c.cur == nil || c.cur.err != nil:
-		// Idle, or a failing sweep draining: nothing to hand out.
+		// Idle, or a failing run draining: nothing to hand out.
 	default:
 		if jobID, lease, ok := c.cur.table.acquire(req.Worker); ok {
 			c.dispatched++
 			entry := &c.cur.table.jobs[jobID]
 			if entry.attempts > 1 {
-				c.log.Printf("dist: sweep %d: job %d reassigned to %s (attempt %d)", c.cur.id, jobID, req.Worker, entry.attempts)
+				c.log.Printf("dist: run %d: job %d reassigned to %s (attempt %d)", c.cur.id, jobID, req.Worker, entry.attempts)
 			}
-			desc := c.cur.desc
-			resp = LeaseResponse{
-				Status:  StatusJob,
-				SweepID: c.cur.id,
-				Desc:    &desc,
-				Job:     Job{ID: jobID, Series: jobID / desc.Grid.Xs, X: jobID % desc.Grid.Xs},
-				Lease:   lease,
+			resp = LeaseResponse{Status: StatusJob, SweepID: c.cur.id, Lease: lease}
+			if c.cur.cdesc != nil {
+				cd := *c.cur.cdesc
+				resp.Churn = &cd
+				resp.Job = Job{ID: jobID, Trial: jobID}
+			} else {
+				desc := c.cur.desc
+				resp.Desc = &desc
+				cell := jobID / desc.Grid.Trials
+				resp.Job = Job{
+					ID:     jobID,
+					Series: cell / desc.Grid.Xs,
+					X:      cell % desc.Grid.Xs,
+					Trial:  jobID % desc.Grid.Trials,
+				}
 			}
 		}
 	}
@@ -273,8 +365,8 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 	c.mu.Lock()
 	run := c.cur
 	if run == nil || req.SweepID != run.id {
-		// A straggler finishing a job of a sweep that already ended:
-		// its results merged from another worker (or the sweep was
+		// A straggler finishing a job of a run that already ended: its
+		// results merged from another worker (or the run was
 		// abandoned). Acknowledge and drop.
 		c.mu.Unlock()
 		reply(w, CompleteResponse{Status: StatusDuplicate})
@@ -286,14 +378,25 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 		reply(w, CompleteResponse{Status: StatusOK})
 		return
 	}
-	if len(req.Results) != run.cfg.Trials {
-		c.mu.Unlock()
-		http.Error(w, fmt.Sprintf("dist: job %d: %d trial results, want %d", req.JobID, len(req.Results), run.cfg.Trials), http.StatusConflict)
-		return
+	var payload jobPayload
+	if run.cdesc != nil {
+		if req.TrialResult == nil || len(req.Results) != 0 {
+			c.mu.Unlock()
+			http.Error(w, fmt.Sprintf("dist: churn job %d: completion must carry exactly a trial result", req.JobID), http.StatusConflict)
+			return
+		}
+		payload = jobPayload{trial: req.TrialResult}
+	} else {
+		if len(req.Results) != 1 || req.TrialResult != nil {
+			c.mu.Unlock()
+			http.Error(w, fmt.Sprintf("dist: job %d: %d trial results, want exactly 1", req.JobID, len(req.Results)), http.StatusConflict)
+			return
+		}
+		payload = jobPayload{results: req.Results}
 	}
-	outcome, err := run.table.complete(req.JobID, req.Lease, req.Results)
+	outcome, err := run.table.complete(req.JobID, req.Lease, payload)
 	if err != nil {
-		// Divergent duplicate results poison the merge: fail the sweep
+		// Divergent duplicate results poison the merge: fail the run
 		// loudly rather than emit a figure of unknowable provenance.
 		c.failLocked(run, err)
 		c.mu.Unlock()
@@ -303,15 +406,19 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 	status := StatusDuplicate
 	if outcome == completedNew {
 		status = StatusOK
-		if run.cfg.Progress != nil {
+		if run.cdesc == nil && run.cfg.Progress != nil {
 			// The Progress contract (serialized, strictly monotonic)
 			// holds whatever order worker reports arrive in: calls are
 			// made under c.mu, and table.done increments exactly once
-			// per newly completed cell.
+			// per newly completed trial job.
 			run.cfg.Progress(run.table.done, run.total)
 		}
 		if c.ckptPath != "" {
-			c.ckpt.record(run.key, run.desc, req.JobID, req.Results)
+			if run.cdesc != nil {
+				c.ckpt.recordChurn(run.key, *run.cdesc, req.JobID, req.TrialResult)
+			} else {
+				c.ckpt.record(run.key, run.desc, req.JobID, req.Results)
+			}
 			if err := c.ckpt.save(c.ckptPath); err != nil {
 				c.log.Printf("dist: %v (continuing without checkpoint)", err)
 			}
@@ -324,8 +431,24 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 	reply(w, CompleteResponse{Status: status})
 }
 
-// failLocked marks the run failed and wakes RunSweep. Caller holds c.mu.
-func (c *Coordinator) failLocked(run *sweepRun, err error) {
+// handleWindow receives an advisory streamed window report from a churn
+// worker and forwards it to the OnWindow hook. Reports for a run that
+// is no longer active are acknowledged and dropped.
+func (c *Coordinator) handleWindow(w http.ResponseWriter, r *http.Request) {
+	var rep WindowReport
+	if !decode(w, r, &rep) {
+		return
+	}
+	c.mu.Lock()
+	if c.cur != nil && c.cur.id == rep.SweepID && c.OnWindow != nil {
+		c.OnWindow(rep)
+	}
+	c.mu.Unlock()
+	reply(w, CompleteResponse{Status: StatusOK})
+}
+
+// failLocked marks the run failed and wakes the waiter. Caller holds c.mu.
+func (c *Coordinator) failLocked(run *activeRun, err error) {
 	if run.err == nil {
 		run.err = err
 		close(run.finished)

@@ -14,8 +14,9 @@ import (
 	"bgpsim/internal/experiment"
 )
 
-// testSweepCfg is a 2-series × 3-x grid with 2 trials per cell (6 jobs).
-// The coordinator never materializes cells, so Cell stays nil.
+// testSweepCfg is a 2-series × 3-x grid with 2 trials per cell (12
+// trial jobs). The coordinator never materializes cells, so Cell stays
+// nil.
 func testSweepCfg(progress func(done, total int)) experiment.SweepConfig {
 	return experiment.SweepConfig{
 		SeriesNames: []string{"a", "b"},
@@ -41,6 +42,13 @@ func postJSON(t *testing.T, h http.Handler, path string, req, resp any) int {
 		}
 	}
 	return w.Code
+}
+
+// trialResults is the one-entry completion payload for trial job jobID
+// in the testSweepCfg grid (2 trials per cell), consistent with a local
+// assembly of fakeResults(cell, 2) per cell.
+func trialResults(jobID int) []experiment.Result {
+	return []experiment.Result{fakeResults(jobID/2, 2)[jobID%2]}
 }
 
 // leaseJob polls until the active sweep hands out a job (RunSweep runs in
@@ -109,16 +117,21 @@ func TestOutOfOrderCompletionsYieldMonotonicProgress(t *testing.T) {
 		out <- sweepOut{fig, err}
 	}()
 	h := coord.Handler()
-	leases := make([]LeaseResponse, 6)
+	leases := make([]LeaseResponse, 12)
 	for i := range leases {
 		leases[i] = leaseJob(t, h, "w")
 		if leases[i].Job.ID != i {
 			t.Fatalf("lease %d handed out job %d", i, leases[i].Job.ID)
 		}
+		// Trial-granularity addressing: job i is trial i%2 of cell i/2.
+		want := Job{ID: i, Series: (i / 2) / 3, X: (i / 2) % 3, Trial: i % 2}
+		if leases[i].Job != want {
+			t.Fatalf("lease %d job = %+v, want %+v", i, leases[i].Job, want)
+		}
 	}
 	// Workers report completions in exactly reverse dispatch order.
-	for i := 5; i >= 0; i-- {
-		if st := completeJob(t, h, leases[i], fakeResults(leases[i].Job.ID, 2)); st != StatusOK {
+	for i := 11; i >= 0; i-- {
+		if st := completeJob(t, h, leases[i], trialResults(leases[i].Job.ID)); st != StatusOK {
 			t.Fatalf("complete job %d ack = %q", leases[i].Job.ID, st)
 		}
 	}
@@ -130,12 +143,12 @@ func TestOutOfOrderCompletionsYieldMonotonicProgress(t *testing.T) {
 		t.Fatalf("figure shape %dx%d, want 2x3", len(r.fig.Series), len(r.fig.Series[0].Points))
 	}
 	calls := prog.snapshot()
-	if len(calls) != 6 {
-		t.Fatalf("Progress called %d times, want 6: %v", len(calls), calls)
+	if len(calls) != 12 {
+		t.Fatalf("Progress called %d times, want 12: %v", len(calls), calls)
 	}
 	for i, c := range calls {
-		if c != [2]int{i + 1, 6} {
-			t.Errorf("Progress call %d = %v, want (%d, 6)", i, c, i+1)
+		if c != [2]int{i + 1, 12} {
+			t.Errorf("Progress call %d = %v, want (%d, 12)", i, c, i+1)
 		}
 	}
 }
@@ -153,10 +166,10 @@ func TestDuplicateCompletionAcknowledgedNotDoubleCounted(t *testing.T) {
 	}()
 	h := coord.Handler()
 	l := leaseJob(t, h, "w")
-	if st := completeJob(t, h, l, fakeResults(l.Job.ID, 2)); st != StatusOK {
+	if st := completeJob(t, h, l, trialResults(l.Job.ID)); st != StatusOK {
 		t.Fatalf("first completion ack = %q", st)
 	}
-	if st := completeJob(t, h, l, fakeResults(l.Job.ID, 2)); st != StatusDuplicate {
+	if st := completeJob(t, h, l, trialResults(l.Job.ID)); st != StatusDuplicate {
 		t.Fatalf("identical duplicate ack = %q, want %q", st, StatusDuplicate)
 	}
 	if st := coord.Stats(); st.Done != 1 {
@@ -168,7 +181,7 @@ func TestDuplicateCompletionAcknowledgedNotDoubleCounted(t *testing.T) {
 
 	// A divergent duplicate is a determinism violation: 409, sweep fails.
 	code := postJSON(t, h, "/v1/complete", CompleteRequest{
-		Worker: "w", SweepID: l.SweepID, JobID: l.Job.ID, Lease: l.Lease, Results: fakeResults(99, 2),
+		Worker: "w", SweepID: l.SweepID, JobID: l.Job.ID, Lease: l.Lease, Results: fakeResults(99, 1),
 	}, nil)
 	if code != http.StatusConflict {
 		t.Fatalf("divergent duplicate: HTTP %d, want 409", code)
@@ -180,7 +193,7 @@ func TestDuplicateCompletionAcknowledgedNotDoubleCounted(t *testing.T) {
 	// Stragglers of the dead sweep are acknowledged and dropped.
 	var ack CompleteResponse
 	code = postJSON(t, h, "/v1/complete", CompleteRequest{
-		Worker: "w", SweepID: l.SweepID, JobID: 3, Lease: 42, Results: fakeResults(3, 2),
+		Worker: "w", SweepID: l.SweepID, JobID: 3, Lease: 42, Results: trialResults(3),
 	}, &ack)
 	if code != http.StatusOK || ack.Status != StatusDuplicate {
 		t.Errorf("stale-sweep completion = (%d, %q), want (200, duplicate)", code, ack.Status)
@@ -227,10 +240,10 @@ func TestCheckpointResumeSkipsCompletedCells(t *testing.T) {
 	}()
 	hA := coordA.Handler()
 	completed := map[int]bool{}
-	for i := 0; i < 3; i++ {
+	for i := 0; i < 6; i++ {
 		l := leaseJob(t, hA, "w")
 		completed[l.Job.ID] = true
-		if st := completeJob(t, hA, l, fakeResults(l.Job.ID, 2)); st != StatusOK {
+		if st := completeJob(t, hA, l, trialResults(l.Job.ID)); st != StatusOK {
 			t.Fatalf("complete job %d ack = %q", l.Job.ID, st)
 		}
 	}
@@ -255,24 +268,24 @@ func TestCheckpointResumeSkipsCompletedCells(t *testing.T) {
 	}()
 	hB := coordB.Handler()
 	var leases []LeaseResponse
-	for i := 0; i < 3; i++ {
+	for i := 0; i < 6; i++ {
 		l := leaseJob(t, hB, "w")
 		if completed[l.Job.ID] {
 			t.Fatalf("checkpointed job %d re-dispatched", l.Job.ID)
 		}
 		leases = append(leases, l)
 	}
-	// Job-count accounting: 3 restored, 3 dispatched, nothing more to lease.
+	// Job-count accounting: 6 restored, 6 dispatched, nothing more to lease.
 	st := coordB.Stats()
-	if !st.Active || st.Total != 6 || st.Done != 3 || st.Resumed != 3 || st.Dispatched != 3 {
-		t.Fatalf("resumed Stats = %+v, want Active total=6 done=3 resumed=3 dispatched=3", st)
+	if !st.Active || st.Total != 12 || st.Done != 6 || st.Resumed != 6 || st.Dispatched != 6 {
+		t.Fatalf("resumed Stats = %+v, want Active total=12 done=6 resumed=6 dispatched=6", st)
 	}
 	var idle LeaseResponse
 	if postJSON(t, hB, "/v1/lease", LeaseRequest{Worker: "w"}, &idle); idle.Status != StatusWait {
 		t.Fatalf("extra lease after full dispatch = %q, want wait", idle.Status)
 	}
 	for _, l := range leases {
-		if st := completeJob(t, hB, l, fakeResults(l.Job.ID, 2)); st != StatusOK {
+		if st := completeJob(t, hB, l, trialResults(l.Job.ID)); st != StatusOK {
 			t.Fatalf("complete job %d ack = %q", l.Job.ID, st)
 		}
 	}
@@ -281,8 +294,8 @@ func TestCheckpointResumeSkipsCompletedCells(t *testing.T) {
 		t.Fatal(r.err)
 	}
 	calls := prog.snapshot()
-	if len(calls) != 4 || calls[0] != [2]int{3, 6} {
-		t.Fatalf("resumed Progress calls = %v, want (3,6) then 4..6", calls)
+	if len(calls) != 7 || calls[0] != [2]int{6, 12} {
+		t.Fatalf("resumed Progress calls = %v, want (6,12) then 7..12", calls)
 	}
 
 	// The merged figure is identical to assembling every cell locally.

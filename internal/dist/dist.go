@@ -1,33 +1,40 @@
-// Package dist distributes sweep execution across machines: a
-// coordinator decomposes a sweep grid into cell-granularity jobs (one
-// job per (series, x) point, trials batched) and serves them over an
-// HTTP/JSON protocol; workers pull jobs, run them through the ordinary
-// experiment machinery, and push back per-trial results.
+// Package dist distributes simulation work across machines: a
+// coordinator decomposes runs into trial-granularity jobs (one job per
+// trial of one (series, x) cell, or one churn trial) and serves them
+// over an HTTP/JSON protocol; workers pull jobs, run them through the
+// ordinary experiment/churn machinery, and push back results. A service
+// layer (service.go) promotes the coordinator to a long-running server
+// accepting figure and churn submissions from many concurrent clients.
 //
 // # Why remote execution can be byte-identical
 //
 // Scenarios carry closures (schemes mutate bgp.Params arbitrarily), so
-// jobs never ship scenarios. A job is an address into the shared
+// sweep jobs never ship scenarios. A job is an address into the shared
 // experiment registry instead: (experiment ID, scale options, sweep
-// index, series index, x index). Both sides run the same registry code
-// over the same options, and the seed of every trial derives from grid
-// indices alone (experiment.CellScenario), so the worker materializes
-// bit-for-bit the scenario the coordinator's local sweep would have run.
-// The coordinator merges returned trial results in fixed (series, x,
-// trial) order through the same assembly code Sweep uses — the emitted
-// figure is byte-identical to a local run by construction.
+// index, series index, x index, trial). Both sides run the same registry
+// code over the same options, and the seed of every trial derives from
+// grid indices alone (experiment.CellScenario + the trial stride), so
+// the worker materializes bit-for-bit the scenario the coordinator's
+// local sweep would have run. The coordinator merges returned trial
+// results in fixed (series, x, trial) order through the same assembly
+// code Sweep uses — the emitted figure is byte-identical to a local run
+// by construction. Churn jobs carry a fully wire-encodable scenario
+// (topology spec, scheme named in ParseScheme syntax, program spec), so
+// the same argument applies: trial seeds derive from (scenario seed,
+// trial index) and the metric stream assembles in trial order.
 //
 // # Robustness
 //
 // Jobs are leased, not handed out: a lease expires if the worker dies
 // mid-job and the job is reassigned (lease.go). Result submission is
-// idempotent — duplicate completions for a cell are verified identical
+// idempotent — duplicate completions for a job are verified identical
 // against the recorded results, never double-counted; a mismatch is a
-// determinism violation and fails the sweep loudly. Workers retry
+// determinism violation and fails the run loudly. Workers retry
 // transient HTTP errors with exponential backoff and jitter
-// (backoff.go). The coordinator checkpoints completed cells to a file
-// after every completion, so an interrupted sweep resumes without
-// redoing finished work (checkpoint.go).
+// (backoff.go). The coordinator checkpoints completed trials to a file
+// after every completion, so an interrupted run resumes without redoing
+// finished work (checkpoint.go) — including churn programs interrupted
+// mid-stream.
 package dist
 
 import (
@@ -36,14 +43,17 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"bgpsim/internal/churn"
 	"bgpsim/internal/core"
 	"bgpsim/internal/experiment"
 )
 
-// ProtocolVersion names the wire protocol. It is embedded in every sweep
+// ProtocolVersion names the wire protocol. It is embedded in every run
 // descriptor and checked by workers; bump it whenever job addressing,
-// seed derivation, or result encoding changes meaning.
-const ProtocolVersion = "bgpsim/dist/v1"
+// seed derivation, or result encoding changes meaning. v2 moved job
+// granularity from cells (all trials batched) to single trials and
+// added churn runs.
+const ProtocolVersion = "bgpsim/dist/v2"
 
 // Lease response statuses.
 const (
@@ -176,14 +186,44 @@ func (d SweepDesc) Key() string {
 	return hex.EncodeToString(sum[:])
 }
 
-// Job is one leased unit of work: every trial of one (series, x) cell.
+// Job is one leased unit of work: a single trial. For sweep runs it is
+// trial Trial of cell (Series, X); for churn runs Series and X are zero
+// and Trial is the churn trial index.
 type Job struct {
-	// ID is the cell index, series-major: si*Grid.Xs + xi.
+	// ID is the trial-granularity job index: (si*Grid.Xs + xi)*Grid.Trials
+	// + trial for sweeps, the trial index for churn runs.
 	ID int `json:"id"`
 	// Series is the series index si.
 	Series int `json:"series"`
 	// X is the x index xi (an index into the axis, not the value).
 	X int `json:"x"`
+	// Trial is the trial index within the cell (or churn run).
+	Trial int `json:"trial"`
+}
+
+// ChurnDesc addresses one distributed churn run: unlike sweep jobs,
+// churn scenarios are fully wire-encodable (topology spec, scheme named
+// in the ParseScheme syntax, program spec), so the descriptor carries
+// the scenario itself rather than a registry address.
+type ChurnDesc struct {
+	// Protocol is ProtocolVersion.
+	Protocol string `json:"protocol"`
+	// Scenario is the churn scenario every trial derives from.
+	Scenario churn.Scenario `json:"scenario"`
+	// Trials is the replication count; job IDs are trial indices.
+	Trials int `json:"trials"`
+}
+
+// Key fingerprints the descriptor for checkpoint addressing, exactly as
+// SweepDesc.Key does for sweeps.
+func (d ChurnDesc) Key() string {
+	b, err := json.Marshal(d)
+	if err != nil {
+		// Marshal of this plain struct cannot fail.
+		panic(fmt.Sprintf("dist: marshal ChurnDesc: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
 }
 
 // LeaseRequest asks the coordinator for a job.
@@ -196,11 +236,15 @@ type LeaseRequest struct {
 type LeaseResponse struct {
 	// Status is StatusJob, StatusWait, or StatusShutdown.
 	Status string `json:"status"`
-	// SweepID identifies the active sweep; completions must echo it.
+	// SweepID identifies the active run; completions must echo it.
 	SweepID int64 `json:"sweep_id,omitempty"`
-	// Desc describes the sweep the job belongs to (set with StatusJob).
+	// Desc describes the sweep the job belongs to (set with StatusJob
+	// for sweep jobs).
 	Desc *SweepDesc `json:"desc,omitempty"`
-	// Job is the leased cell (set with StatusJob).
+	// Churn describes the churn run the job belongs to (set with
+	// StatusJob for churn jobs; exactly one of Desc/Churn is set).
+	Churn *ChurnDesc `json:"churn,omitempty"`
+	// Job is the leased trial (set with StatusJob).
 	Job Job `json:"job,omitempty"`
 	// Lease is the lease token; completions must echo it.
 	Lease int64 `json:"lease,omitempty"`
@@ -214,14 +258,38 @@ type CompleteRequest struct {
 	SweepID int64 `json:"sweep_id"`
 	JobID   int   `json:"job_id"`
 	Lease   int64 `json:"lease"`
-	// Results holds one entry per trial, in trial order. Result fields
+	// Results holds the sweep trial's result (exactly one entry — job
+	// granularity is a single trial since protocol v2). Result fields
 	// are integers (durations in nanoseconds), so the JSON round trip is
 	// exact and coordinator-side aggregation is bit-equal to local.
 	Results []experiment.Result `json:"results,omitempty"`
+	// TrialResult holds a churn trial's full window stream (set instead
+	// of Results for churn jobs).
+	TrialResult *churn.TrialResult `json:"trial_result,omitempty"`
 	// Error reports a deterministic job failure (bad experiment,
-	// simulation error): the coordinator fails the whole sweep, matching
+	// simulation error): the coordinator fails the whole run, matching
 	// local Sweep's first-error semantics.
 	Error string `json:"error,omitempty"`
+}
+
+// WindowReport streams one closed churn measurement window to the
+// coordinator while its trial is still running — the incremental metric
+// feed behind the /v1/query live view. Reports are advisory: the
+// authoritative stream is the completion's TrialResult, so a lost or
+// re-sent report can skew the live view but never the final result.
+type WindowReport struct {
+	// Worker identifies the reporter.
+	Worker string `json:"worker"`
+	// SweepID and JobID identify the running churn job.
+	SweepID int64 `json:"sweep_id"`
+	JobID   int   `json:"job_id"`
+	// Trial is the churn trial index.
+	Trial int `json:"trial"`
+	// Window is the closed window's metrics.
+	Window churn.WindowResult `json:"window"`
+	// PerNodeSent is the window's per-router send count — the live
+	// per-router convergence state.
+	PerNodeSent []int `json:"per_node_sent,omitempty"`
 }
 
 // CompleteResponse acknowledges a completion.
@@ -234,17 +302,20 @@ type CompleteResponse struct {
 type StatusResponse struct {
 	// Protocol is ProtocolVersion.
 	Protocol string `json:"protocol"`
-	// Active reports whether a sweep is in progress.
+	// Active reports whether a run is in progress.
 	Active bool `json:"active"`
-	// SweepID identifies the active sweep (0 when idle).
+	// SweepID identifies the active run (0 when idle).
 	SweepID int64 `json:"sweep_id,omitempty"`
-	// Total and Done count the active sweep's cells.
+	// Total and Done count the active run's trial jobs.
 	Total int `json:"total,omitempty"`
 	Done  int `json:"done,omitempty"`
+	// Churn reports whether the active run is a churn program (false:
+	// a sweep).
+	Churn bool `json:"churn,omitempty"`
 	// Dispatched counts leases handed out since the coordinator
 	// started, reassignments included.
 	Dispatched int64 `json:"dispatched"`
-	// Resumed counts cells preloaded from the checkpoint for the active
-	// sweep — work the coordinator did not redo.
+	// Resumed counts trials preloaded from the checkpoint for the
+	// active run — work the coordinator did not redo.
 	Resumed int `json:"resumed,omitempty"`
 }

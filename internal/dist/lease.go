@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"bgpsim/internal/churn"
 	"bgpsim/internal/experiment"
 )
 
@@ -16,6 +17,39 @@ const (
 	jobDone                    // results recorded
 )
 
+// jobPayload is one completed job's recorded result: exactly one of the
+// fields is set — Results (one entry) for sweep trial jobs, Trial for
+// churn trial jobs. One payload type keeps the lease table, checkpoint,
+// and duplicate-verification machinery shared across both run kinds.
+type jobPayload struct {
+	results []experiment.Result
+	trial   *churn.TrialResult
+}
+
+// equal compares payloads field-for-field — the duplicate-completion
+// determinism check.
+func (p jobPayload) equal(q jobPayload) bool {
+	if !resultsEqual(p.results, q.results) {
+		return false
+	}
+	if (p.trial == nil) != (q.trial == nil) {
+		return false
+	}
+	if p.trial == nil {
+		return true
+	}
+	a, b := *p.trial, *q.trial
+	if a.Trial != b.Trial || a.Start != b.Start || len(a.Windows) != len(b.Windows) {
+		return false
+	}
+	for i := range a.Windows {
+		if a.Windows[i] != b.Windows[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // jobEntry is one job's lease and result record.
 type jobEntry struct {
 	state    jobState
@@ -23,7 +57,7 @@ type jobEntry struct {
 	worker   string // holder of the current lease
 	expires  time.Time
 	attempts int // leases handed out for this job
-	results  []experiment.Result
+	payload  jobPayload
 }
 
 // completion classifies the outcome of leaseTable.complete.
@@ -37,7 +71,7 @@ const (
 	completedDuplicate
 )
 
-// leaseTable tracks the lease lifecycle of one sweep's jobs:
+// leaseTable tracks the lease lifecycle of one run's trial jobs:
 //
 //	pending --acquire--> leased --complete--> done
 //	   ^                   |
@@ -98,20 +132,20 @@ func (t *leaseTable) grant(i int, worker string, now time.Time) int {
 	return i
 }
 
-// complete records results for jobID. Completions are idempotent: a
-// duplicate submission must carry results identical to the recorded
-// ones (completedDuplicate); differing results are a determinism
+// complete records a payload for jobID. Completions are idempotent: a
+// duplicate submission must carry a payload identical to the recorded
+// one (completedDuplicate); a differing payload is a determinism
 // violation and an error. A completion under a superseded lease (the
 // job was reassigned after this worker's lease expired) is still
 // accepted — the results are deterministic, so first-to-finish wins and
 // the other worker's submission lands on the duplicate path.
-func (t *leaseTable) complete(jobID int, lease int64, results []experiment.Result) (completion, error) {
+func (t *leaseTable) complete(jobID int, lease int64, payload jobPayload) (completion, error) {
 	if jobID < 0 || jobID >= len(t.jobs) {
 		return 0, fmt.Errorf("dist: job %d outside table of %d", jobID, len(t.jobs))
 	}
 	j := &t.jobs[jobID]
 	if j.state == jobDone {
-		if !resultsEqual(j.results, results) {
+		if !j.payload.equal(payload) {
 			return 0, fmt.Errorf("dist: job %d completed twice with different results — worker versions or inputs diverge", jobID)
 		}
 		return completedDuplicate, nil
@@ -121,20 +155,20 @@ func (t *leaseTable) complete(jobID int, lease int64, results []experiment.Resul
 	}
 	_ = lease // any lease on a not-yet-done job is acceptable; see doc comment
 	j.state = jobDone
-	j.results = results
+	j.payload = payload
 	t.done++
 	return completedNew, nil
 }
 
-// markDone records checkpoint-restored results for jobID without a
+// markDone records a checkpoint-restored payload for jobID without a
 // lease ever existing (resume path).
-func (t *leaseTable) markDone(jobID int, results []experiment.Result) {
+func (t *leaseTable) markDone(jobID int, payload jobPayload) {
 	j := &t.jobs[jobID]
 	if j.state == jobDone {
 		return
 	}
 	j.state = jobDone
-	j.results = results
+	j.payload = payload
 	t.done++
 }
 

@@ -27,6 +27,11 @@ func fakeResults(tag, trials int) []experiment.Result {
 	return rs
 }
 
+// fakePayload wraps fakeResults as a sweep-job payload.
+func fakePayload(tag, trials int) jobPayload {
+	return jobPayload{results: fakeResults(tag, trials)}
+}
+
 func TestLeaseAcquireOrderAndExhaustion(t *testing.T) {
 	clk := newFakeClock()
 	tab := newLeaseTable(3, 10*time.Second, clk.now)
@@ -76,12 +81,12 @@ func TestSupersededLeaseCompletionAcceptedOnce(t *testing.T) {
 
 	// Alice finally reports under her superseded lease: deterministic
 	// results, first to finish wins.
-	got, err := tab.complete(0, lease1, fakeResults(7, 2))
+	got, err := tab.complete(0, lease1, fakePayload(7, 2))
 	if err != nil || got != completedNew {
 		t.Fatalf("superseded-lease completion = (%v, %v), want (completedNew, nil)", got, err)
 	}
 	// Bob's identical submission is the idempotent duplicate.
-	got, err = tab.complete(0, lease2, fakeResults(7, 2))
+	got, err = tab.complete(0, lease2, fakePayload(7, 2))
 	if err != nil || got != completedDuplicate {
 		t.Fatalf("duplicate completion = (%v, %v), want (completedDuplicate, nil)", got, err)
 	}
@@ -94,10 +99,10 @@ func TestDivergentDuplicateIsError(t *testing.T) {
 	clk := newFakeClock()
 	tab := newLeaseTable(1, time.Second, clk.now)
 	_, lease, _ := tab.acquire("alice")
-	if _, err := tab.complete(0, lease, fakeResults(1, 2)); err != nil {
+	if _, err := tab.complete(0, lease, fakePayload(1, 2)); err != nil {
 		t.Fatal(err)
 	}
-	_, err := tab.complete(0, lease, fakeResults(2, 2))
+	_, err := tab.complete(0, lease, fakePayload(2, 2))
 	if err == nil || !strings.Contains(err.Error(), "different results") {
 		t.Fatalf("divergent duplicate accepted: %v", err)
 	}
@@ -106,10 +111,10 @@ func TestDivergentDuplicateIsError(t *testing.T) {
 func TestCompleteWithoutLeaseIsError(t *testing.T) {
 	clk := newFakeClock()
 	tab := newLeaseTable(2, time.Second, clk.now)
-	if _, err := tab.complete(0, 1, fakeResults(1, 1)); err == nil {
+	if _, err := tab.complete(0, 1, fakePayload(1, 1)); err == nil {
 		t.Error("completion of a never-leased job accepted")
 	}
-	if _, err := tab.complete(5, 1, fakeResults(1, 1)); err == nil {
+	if _, err := tab.complete(5, 1, fakePayload(1, 1)); err == nil {
 		t.Error("completion of an out-of-range job accepted")
 	}
 }
@@ -117,8 +122,8 @@ func TestCompleteWithoutLeaseIsError(t *testing.T) {
 func TestMarkDoneSkipsLeasing(t *testing.T) {
 	clk := newFakeClock()
 	tab := newLeaseTable(2, time.Second, clk.now)
-	tab.markDone(1, fakeResults(3, 1))
-	tab.markDone(1, fakeResults(3, 1)) // idempotent
+	tab.markDone(1, fakePayload(3, 1))
+	tab.markDone(1, fakePayload(3, 1)) // idempotent
 	if tab.remaining() != 1 {
 		t.Fatalf("remaining = %d, want 1", tab.remaining())
 	}

@@ -11,16 +11,22 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"sync/atomic"
 	"time"
 
+	"bgpsim/internal/churn"
 	"bgpsim/internal/core"
 	"bgpsim/internal/experiment"
 )
 
-// JobRunner executes one job of a sweep and returns the cell's
-// per-trial results in trial order. The default is RegistryRunner;
-// tests and benchmarks inject no-op runners.
+// JobRunner executes one sweep trial job and returns its result as a
+// one-entry slice. The default is RegistryRunner; tests and benchmarks
+// inject no-op runners.
 type JobRunner func(ctx context.Context, desc SweepDesc, job Job) ([]experiment.Result, error)
+
+// ChurnJobRunner executes one churn trial job, invoking obs as each
+// measurement window closes. The default is ChurnRunner.
+type ChurnJobRunner func(ctx context.Context, desc ChurnDesc, job Job, obs churn.WindowObserver) (*churn.TrialResult, error)
 
 // Worker is the client half of the protocol: it polls the coordinator
 // for leases, executes jobs, and submits results, retrying transient
@@ -44,17 +50,29 @@ type Worker struct {
 	// PollInterval is the idle delay after a StatusWait response
 	// (default 200ms).
 	PollInterval time.Duration
-	// SimWorkers is the per-job trial parallelism handed to the cell
-	// runner (0 = GOMAXPROCS).
+	// SimWorkers is the intra-simulation parallelism handed to job
+	// execution (0 = GOMAXPROCS).
 	SimWorkers int
-	// Run executes jobs (nil = RegistryRunner(SimWorkers)).
+	// Run executes sweep trial jobs (nil = RegistryRunner(SimWorkers)).
 	Runner JobRunner
+	// ChurnRun executes churn trial jobs (nil = ChurnRunner()).
+	ChurnRun ChurnJobRunner
 	// Log receives per-job progress lines. nil discards.
 	Log *log.Logger
 
 	// sleep waits between retries/polls; tests inject instant fakes.
 	sleep func(ctx context.Context, d time.Duration) error
+
+	// draining is set by Drain: finish and submit the in-flight trial,
+	// then exit instead of leasing more work.
+	draining atomic.Bool
 }
+
+// Drain asks the worker to stop gracefully: the in-flight trial (if
+// any) runs to completion and its result is submitted, then Work
+// returns nil instead of leasing another job. Safe to call from any
+// goroutine (typically a SIGTERM handler).
+func (w *Worker) Drain() { w.draining.Store(true) }
 
 // errUnreachable marks retry-budget exhaustion talking to the
 // coordinator.
@@ -75,16 +93,24 @@ func BaseURL(addr string) string {
 // as a normal end of work (it exits when its figures are done) and Work
 // returns nil; a coordinator that was never reachable is an error. Job
 // execution errors are reported to the coordinator (which fails the
-// sweep) and end the loop with the error.
+// run) and end the loop with the error.
 func (w *Worker) Work(ctx context.Context) error {
 	w.applyDefaults()
 	runner := w.Runner
 	if runner == nil {
 		runner = RegistryRunner(w.SimWorkers)
 	}
+	churnRunner := w.ChurnRun
+	if churnRunner == nil {
+		churnRunner = ChurnRunner(w.SimWorkers)
+	}
 	everConnected := false
 	jobs := 0
 	for {
+		if w.draining.Load() {
+			w.Log.Printf("dist: worker %s: drained after %d jobs; exiting", w.ID, jobs)
+			return nil
+		}
 		var lease LeaseResponse
 		err := w.post(ctx, "/v1/lease", LeaseRequest{Worker: w.ID}, &lease)
 		switch {
@@ -104,44 +130,74 @@ func (w *Worker) Work(ctx context.Context) error {
 				return err
 			}
 		case StatusJob:
-			if lease.Desc == nil {
-				return fmt.Errorf("dist: lease for job %d without sweep descriptor", lease.Job.ID)
-			}
 			complete := CompleteRequest{
 				Worker:  w.ID,
 				SweepID: lease.SweepID,
 				JobID:   lease.Job.ID,
 				Lease:   lease.Lease,
 			}
-			results, jerr := runner(ctx, *lease.Desc, lease.Job)
+			var jerr error
+			var what string
+			switch {
+			case lease.Churn != nil:
+				what = fmt.Sprintf("churn %s trial %d", lease.Churn.Scenario.Program.Kind, lease.Job.Trial)
+				complete.TrialResult, jerr = churnRunner(ctx, *lease.Churn, lease.Job, w.windowObserver(lease))
+			case lease.Desc != nil:
+				what = fmt.Sprintf("%s series %d x %d trial %d",
+					lease.Desc.Experiment, lease.Job.Series, lease.Job.X, lease.Job.Trial)
+				complete.Results, jerr = runner(ctx, *lease.Desc, lease.Job)
+			default:
+				return fmt.Errorf("dist: lease for job %d without a run descriptor", lease.Job.ID)
+			}
 			if jerr != nil {
 				if ctx.Err() != nil {
 					return ctx.Err()
 				}
+				complete.Results, complete.TrialResult = nil, nil
 				complete.Error = jerr.Error()
-			} else {
-				complete.Results = results
 			}
 			var ack CompleteResponse
 			err := w.post(ctx, "/v1/complete", complete, &ack)
 			switch {
 			case errors.Is(err, errUnreachable):
-				// The lease expires and another worker redoes the cell.
+				// The lease expires and another worker redoes the trial.
 				w.Log.Printf("dist: worker %s: coordinator gone mid-submit; exiting", w.ID)
 				return nil
 			case err != nil:
 				return err
 			}
 			if jerr != nil {
-				return fmt.Errorf("dist: job %d (%s series %d x %d): %w",
-					lease.Job.ID, lease.Desc.Experiment, lease.Job.Series, lease.Job.X, jerr)
+				return fmt.Errorf("dist: job %d (%s): %w", lease.Job.ID, what, jerr)
 			}
 			jobs++
-			w.Log.Printf("dist: worker %s: job %d done (%s series %d x %d, %s)",
-				w.ID, lease.Job.ID, lease.Desc.Experiment, lease.Job.Series, lease.Job.X, ack.Status)
+			w.Log.Printf("dist: worker %s: job %d done (%s, %s)", w.ID, lease.Job.ID, what, ack.Status)
 		default:
 			return fmt.Errorf("dist: unknown lease status %q", lease.Status)
 		}
+	}
+}
+
+// windowObserver builds the per-window streaming callback for a leased
+// churn job: each closed window posts one advisory WindowReport. The
+// post is a single try with no retries — losing a report only stales
+// the live view, never the authoritative completion payload — so a slow
+// coordinator cannot stall the simulation for long.
+func (w *Worker) windowObserver(lease LeaseResponse) churn.WindowObserver {
+	return func(trial int, win churn.WindowResult, perNode []int) {
+		rep := WindowReport{
+			Worker:      w.ID,
+			SweepID:     lease.SweepID,
+			JobID:       lease.Job.ID,
+			Trial:       trial,
+			Window:      win,
+			PerNodeSent: perNode,
+		}
+		payload, err := json.Marshal(rep)
+		if err != nil {
+			return
+		}
+		var ack CompleteResponse
+		_ = w.tryPost(context.Background(), "/v1/window", payload, &ack)
 	}
 }
 
@@ -245,19 +301,20 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 	}
 }
 
-// errJobDone aborts an experiment run once the target sweep's cell has
+// errJobDone aborts an experiment run once the target sweep's trial has
 // executed; RegistryRunner's interceptor returns it from the Sweeper
 // hook so Experiment.Run unwinds without running later sweeps.
 var errJobDone = errors.New("dist: job complete")
 
-// RegistryRunner returns the default job executor: it reconstructs the
-// job's sweep by re-running the experiment from the shared registry with
-// a Sweeper hook that, at the descriptor's SweepIndex, executes exactly
-// the requested cell through experiment.CellRunner and unwinds. Seeds
-// derive from grid indices, so the produced trial results are
-// bit-identical to what a local sweep computes for that cell. The
-// returned runner keeps one simulator pool across jobs; simWorkers
-// bounds per-cell trial parallelism (0 = GOMAXPROCS).
+// RegistryRunner returns the default sweep job executor: it
+// reconstructs the job's sweep by re-running the experiment from the
+// shared registry with a Sweeper hook that, at the descriptor's
+// SweepIndex, executes exactly the requested trial through
+// experiment.CellRunner and unwinds. Seeds derive from grid indices, so
+// the produced trial result is bit-identical to what a local sweep
+// computes for that trial. The returned runner keeps one simulator pool
+// across jobs; simWorkers feeds opts.Workers for experiments that use
+// intra-run parallelism (0 = GOMAXPROCS).
 func RegistryRunner(simWorkers int) JobRunner {
 	cells := experiment.NewCellRunner()
 	return func(ctx context.Context, desc SweepDesc, job Job) ([]experiment.Result, error) {
@@ -294,7 +351,11 @@ func RegistryRunner(simWorkers int) JobRunner {
 					desc.Experiment, desc.SweepIndex, desc.Grid, got)
 				return experiment.Figure{}, errJobDone
 			}
-			results, cellErr = cells.RunCell(ctx, cfg, job.Series, job.X, simWorkers)
+			var res experiment.Result
+			res, cellErr = cells.RunTrial(ctx, cfg, job.Series, job.X, job.Trial)
+			if cellErr == nil {
+				results = []experiment.Result{res}
+			}
 			return experiment.Figure{}, errJobDone
 		}
 		_, err = exp.Run(opts)
@@ -306,5 +367,25 @@ func RegistryRunner(simWorkers int) JobRunner {
 		default:
 			return nil, fmt.Errorf("dist: experiment %s ran %d sweeps, job addresses sweep %d", desc.Experiment, index, desc.SweepIndex)
 		}
+	}
+}
+
+// ChurnRunner returns the default churn job executor: one shared
+// simulator pool across trials, each trial materialized from the wire
+// scenario exactly as a local churn.Run would. simWorkers is currently
+// unused (a churn trial is a single simulation) but kept for symmetry
+// with RegistryRunner.
+func ChurnRunner(simWorkers int) ChurnJobRunner {
+	_ = simWorkers
+	runner := churn.NewRunner()
+	return func(ctx context.Context, desc ChurnDesc, job Job, obs churn.WindowObserver) (*churn.TrialResult, error) {
+		if desc.Protocol != ProtocolVersion {
+			return nil, fmt.Errorf("dist: coordinator speaks %q, this worker %q", desc.Protocol, ProtocolVersion)
+		}
+		tr, err := runner.RunTrial(ctx, desc.Scenario, job.Trial, obs)
+		if err != nil {
+			return nil, err
+		}
+		return &tr, nil
 	}
 }

@@ -73,6 +73,31 @@ func (r *CellRunner) RunCell(ctx context.Context, cfg SweepConfig, si, xi, worke
 	return results, nil
 }
 
+// RunTrial runs exactly one trial of cell (si, xi) — the unit of work a
+// trial-granularity distributed lease covers. The trial's seed, scenario
+// materialization, and simulation code path are shared with RunCell (and
+// therefore with Sweep), so the result is byte-for-byte the trial-th
+// entry of the slice RunCell would return.
+func (r *CellRunner) RunTrial(ctx context.Context, cfg SweepConfig, si, xi, trial int) (Result, error) {
+	cfg, err := NormalizeSweep(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	if si < 0 || si >= len(cfg.SeriesNames) || xi < 0 || xi >= len(cfg.Xs) {
+		return Result{}, fmt.Errorf("experiment: cell (%d, %d) outside %dx%d grid", si, xi, len(cfg.SeriesNames), len(cfg.Xs))
+	}
+	if trial < 0 || trial >= cfg.Trials {
+		return Result{}, fmt.Errorf("experiment: trial %d outside %d trials", trial, cfg.Trials)
+	}
+	sc := CellScenario(cfg, si, xi)
+	sc.Seed = trialSeed(sc.Seed, trial)
+	res, err := runScenario(ctx, sc, r.pool)
+	if err != nil {
+		return Result{}, fmt.Errorf("series %q x=%v: trial %d: %w", cfg.SeriesNames[si], cfg.Xs[xi], trial, err)
+	}
+	return res, nil
+}
+
 // AssembleFigure merges a completed grid's per-cell trial results into
 // the figure, consuming them in (series, x, trial) order. perCell is
 // indexed cell-major (si·len(Xs)+xi) and each entry must hold exactly

@@ -61,6 +61,32 @@ func (p *simPool) take(net *topology.Network) *bgp.Simulator {
 	return sim
 }
 
+// SimPool is the exported face of the per-sweep simulator pool, for
+// sibling subsystems (internal/churn) that run trials outside the sweep
+// machinery but want the same construction-skipping reuse. Same
+// contract as the internal pool: byte-identical results, Reset before
+// use, keyed by *Network identity. The zero value is not usable;
+// construct with NewSimPool.
+type SimPool struct {
+	p *simPool
+}
+
+// NewSimPool returns an empty exported pool.
+func NewSimPool() *SimPool {
+	return &SimPool{p: newSimPool()}
+}
+
+// Take pops a pooled simulator built on net, or nil when none is
+// available. The caller must Reset it before use.
+func (p *SimPool) Take(net *topology.Network) *bgp.Simulator {
+	return p.p.take(net)
+}
+
+// Put offers sim (built on net) for reuse; it is dropped when full.
+func (p *SimPool) Put(net *topology.Network, sim *bgp.Simulator) {
+	p.p.put(net, sim)
+}
+
 // put offers sim (built on net) for reuse; it is dropped when the pool
 // is full.
 func (p *simPool) put(net *topology.Network, sim *bgp.Simulator) {
