@@ -24,6 +24,7 @@ import (
 	"os"
 	"regexp"
 	"runtime"
+	"sort"
 	"testing"
 
 	"bgpsim/internal/bench"
@@ -50,15 +51,33 @@ type File struct {
 type Result struct {
 	// Name is the registry name (Benchmark<Name> under `go test`).
 	Name string `json:"name"`
-	// Iterations is the b.N the harness settled on.
+	// Iterations is the TOTAL iteration count behind NsPerOp — the sum
+	// of b.N over all -runs repetitions, so NsPerOp is always
+	// total-time / Iterations and never an average whose sample size is
+	// misstated.
 	Iterations int `json:"iterations"`
-	// NsPerOp is wall-clock time per iteration (machine-dependent).
+	// NsPerOp is wall-clock time per iteration across all runs
+	// (machine-dependent).
 	NsPerOp float64 `json:"ns_per_op"`
-	// BytesPerOp is heap bytes allocated per iteration.
+	// BytesPerOp is heap bytes allocated per iteration (iteration-
+	// weighted across runs).
 	BytesPerOp int64 `json:"bytes_per_op"`
 	// AllocsPerOp is heap allocations per iteration — the number the
 	// -check regression gate compares.
 	AllocsPerOp int64 `json:"allocs_per_op"`
+	// Runs is how many independent testing.Benchmark repetitions were
+	// aggregated (the -runs flag).
+	Runs int `json:"runs,omitempty"`
+	// NsPerOpMin and NsPerOpMean summarize the per-run ns/op values:
+	// the best single run (least scheduler noise) and the unweighted
+	// mean across runs. With -runs 1 both equal NsPerOp.
+	NsPerOpMin  float64 `json:"ns_per_op_min,omitempty"`
+	NsPerOpMean float64 `json:"ns_per_op_mean,omitempty"`
+	// Extra carries the benchmark's custom metrics (b.ReportMetric),
+	// iteration-weighted across runs — notably the phase split
+	// "setup-ns/op"/"storm-ns/op" of the large-scale entries and
+	// "windows/op" of ChurnStep.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 func main() {
@@ -82,13 +101,19 @@ func run(args []string, out *os.File) error {
 		prefixes  = fs.Int("prefixes", 0, "override ConvergeMultiPrefix's prefixes-per-AS dimension (0 = suite default)")
 		shards    = fs.Int("shards", 0, "override ConvergeLargeScaleSharded's shard count (0 = suite default)")
 		warm      = fs.Bool("warmstart", false, "run scenario-layer entries warm-started from the snapshot backend's fixpoint (same results, less wall clock)")
+		runs      = fs.Int("runs", 1, "repeat each benchmark this many times; ns_per_op aggregates over all runs and the JSON records per-run min/mean")
+		stormBase = fs.Bool("storm-baseline", false, "disable the storm fast lane (pre-PR-10 baseline: DefaultParams leaves every Storm* toggle off; results are byte-identical, only wall clock moves)")
 	)
 	var prof profiling.Config
 	prof.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *runs < 1 {
+		return fmt.Errorf("-runs must be at least 1")
+	}
 	bgp.ForceFullScanDefault = *fullScan
+	bgp.StormBaselineDefault = *stormBase
 	if *prefixes > 0 {
 		bench.MultiPrefixCount = *prefixes
 	}
@@ -131,17 +156,13 @@ func run(args []string, out *os.File) error {
 		if filter != nil && !filter.MatchString(e.Name) {
 			continue
 		}
-		res := testing.Benchmark(e.Fn)
-		r := Result{
-			Name:        e.Name,
-			Iterations:  res.N,
-			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
-			BytesPerOp:  res.AllocedBytesPerOp(),
-			AllocsPerOp: res.AllocsPerOp(),
-		}
+		r := measure(e, *runs)
 		doc.Results = append(doc.Results, r)
 		fmt.Fprintf(out, "%-28s %10d ns/op %12d B/op %10d allocs/op (n=%d)\n",
 			r.Name, int64(r.NsPerOp), r.BytesPerOp, r.AllocsPerOp, r.Iterations)
+		for _, k := range sortedKeys(r.Extra) {
+			fmt.Fprintf(out, "%-28s %10d %s\n", "", int64(r.Extra[k]), k)
+		}
 	}
 	if len(doc.Results) == 0 {
 		return fmt.Errorf("no benchmarks matched -run %q", *runExpr)
@@ -156,6 +177,67 @@ func run(args []string, out *os.File) error {
 		return check(out, doc, *checkPath, *tolerance)
 	}
 	return nil
+}
+
+// measure runs one suite entry `runs` times through testing.Benchmark
+// and aggregates honestly: the headline ns/op is total time over total
+// iterations (so Iterations is the true sample size), per-run min/mean
+// expose the spread, and allocation counts and ReportMetric extras are
+// iteration-weighted.
+func measure(e bench.Entry, runs int) Result {
+	var (
+		totalN    int
+		totalNs   int64
+		sumBytes  int64
+		sumAllocs int64
+		perRunNs  []float64
+		extraSums = map[string]float64{}
+	)
+	for k := 0; k < runs; k++ {
+		res := testing.Benchmark(e.Fn)
+		n := res.N
+		totalN += n
+		totalNs += res.T.Nanoseconds()
+		sumBytes += res.AllocedBytesPerOp() * int64(n)
+		sumAllocs += res.AllocsPerOp() * int64(n)
+		perRunNs = append(perRunNs, float64(res.T.Nanoseconds())/float64(n))
+		for name, v := range res.Extra {
+			extraSums[name] += v * float64(n)
+		}
+	}
+	r := Result{
+		Name:        e.Name,
+		Iterations:  totalN,
+		NsPerOp:     float64(totalNs) / float64(totalN),
+		BytesPerOp:  sumBytes / int64(totalN),
+		AllocsPerOp: sumAllocs / int64(totalN),
+		Runs:        runs,
+	}
+	min, sum := perRunNs[0], 0.0
+	for _, v := range perRunNs {
+		if v < min {
+			min = v
+		}
+		sum += v
+	}
+	r.NsPerOpMin, r.NsPerOpMean = min, sum/float64(len(perRunNs))
+	if len(extraSums) > 0 {
+		r.Extra = make(map[string]float64, len(extraSums))
+		for name, s := range extraSums {
+			r.Extra[name] = s / float64(totalN)
+		}
+	}
+	return r
+}
+
+// sortedKeys returns m's keys in fixed order for stable table output.
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // writeJSON writes the document with trailing newline, atomically enough

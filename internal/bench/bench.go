@@ -104,10 +104,11 @@ func Suite() []Entry {
 			// The PR-5 scale target: 500 ASes through the incremental
 			// decision process. Seed-cycled so the topology memo serves the
 			// worlds and the entry measures the simulation, not generation.
-			scenarioSeedCycle(b, bgpsim.LargeScale500(), 4)
+			scenarioSeedCyclePhased(b, bgpsim.LargeScale500(), 4)
 		}},
 		{"ConvergeLargeScaleSharded", convergeLargeScaleSharded},
 		{"ConvergeLargeScaleWarm", convergeLargeScaleWarm},
+		{"StormOnly", stormOnly},
 		{"SnapshotConverge500", snapshotConverge500},
 		{"ConvergeMultiPrefix", convergeMultiPrefix},
 		{"ConvergeAndFailFIFOReset", convergeAndFailReset},
@@ -198,6 +199,30 @@ func scenarioSeedCycle(b *testing.B, sc bgpsim.Scenario, worlds int) {
 	}
 }
 
+// scenarioSeedCyclePhased is scenarioSeedCycle plus the phase split: the
+// simulator's setup/storm wall-clock counters (bgp.TakePhaseNs) are
+// drained around the timed loop and reported as setup-ns/op and
+// storm-ns/op, so the aggregate ns/op decomposes into the
+// initial-convergence phase and the post-failure exploration storm.
+// cmd/bgpbench carries both through to the JSON trajectory.
+func scenarioSeedCyclePhased(b *testing.B, sc bgpsim.Scenario, worlds int) {
+	b.Helper()
+	b.ReportAllocs()
+	sc.WarmStart = sc.WarmStart || WarmStart
+	bgp.TakePhaseNs() // drop residue from earlier entries or warm-up laps
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.Seed = int64(1 + i%worlds)
+		if _, err := bgpsim.Run(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	setup, storm := bgp.TakePhaseNs()
+	b.ReportMetric(float64(setup)/float64(b.N), "setup-ns/op")
+	b.ReportMetric(float64(storm)/float64(b.N), "storm-ns/op")
+}
+
 // ShardCount is the shard dimension of the ConvergeLargeScaleSharded
 // entry (cmd/bgpbench -shards overrides it). The entry runs in
 // sequenced mode, so its results are byte-identical to
@@ -228,7 +253,51 @@ func convergeLargeScaleSharded(b *testing.B) {
 func convergeLargeScaleWarm(b *testing.B) {
 	sc := bgpsim.LargeScale500()
 	sc.WarmStart = true
-	scenarioSeedCycle(b, sc, 4)
+	scenarioSeedCyclePhased(b, sc, 4)
+}
+
+// stormOnly isolates the post-failure exploration storm: the 500-AS
+// world of ConvergeLargeScaleWarm with setup — snapshot install, failure
+// scheduling — performed under StopTimer, so ns/op is purely the run
+// from failure injection to quiescence. This is the storm fast lane's
+// headline metric: the fused-dispatch/blocked-skip/coalesced-MRAI/
+// second-best optimizations only touch this window, and here their
+// effect is not diluted by setup cost (compare under -storm-baseline
+// for the before/after; see EXPERIMENTS.md "Storm fast lane").
+func stormOnly(b *testing.B) {
+	net, err := experiment.BuildTopologyCached(bgpsim.LargeScale500().Topology, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := bgp.DefaultParams()
+	p.Queue = bgp.QueueBatched
+	p.MRAI = mrai.PaperDynamic()
+	p.WarmStart = true
+	p.Seed = 1
+	sim, err := bgp.New(net, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// The paper's 10% geographic failure on this world, resolved once —
+	// the failure set is a function of the topology, not the trial seed.
+	fail := topology.NearestNodes(net, topology.GridCenter(net), net.NumNodes()/10, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		p.Seed = int64(i + 1)
+		if err := sim.Reset(p); err != nil {
+			b.Fatal(err)
+		}
+		if err := sim.ConvergeInitial(); err != nil {
+			b.Fatal(err)
+		}
+		sim.ScheduleFailure(sim.Now()+bgp.SettleMargin, fail)
+		b.StartTimer()
+		if err := sim.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // snapshotConverge500 measures the snapshot backend alone: one full

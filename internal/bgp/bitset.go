@@ -64,3 +64,19 @@ func (b bitset) appendIndices(out []int) []int {
 	}
 	return out
 }
+
+// appendIndicesAndNot appends the elements of b that are not in not to
+// out in ascending order and returns the extended slice. not must have
+// the same capacity as b. Backs the storm blocked-skip flush: the pending
+// set minus the known-gate-blocked set.
+func (b bitset) appendIndicesAndNot(not bitset, out []int) []int {
+	for wi, w := range b {
+		w &^= not[wi]
+		base := wi << 6
+		for w != 0 {
+			out = append(out, base+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package bgp
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"bgpsim/internal/des"
+	"bgpsim/internal/mrai"
+	"bgpsim/internal/profiling"
+	"bgpsim/internal/topology"
+)
+
+// phaseTestSim builds a small converged-and-failed world for the phase
+// accounting tests.
+func phaseTestSim(t *testing.T) (*Simulator, []int) {
+	t.Helper()
+	rng := des.NewRNG(5)
+	nw, err := topology.SkewedNetwork(topology.Skewed7030(30), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	p.MRAI = mrai.Constant(500 * time.Millisecond)
+	p.Seed = 5
+	sim, err := New(nw, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fail := topology.NearestNodes(nw, topology.GridCenter(nw), 3, nil)
+	return sim, fail
+}
+
+// TestTakePhaseNs: ConvergeAndFail must credit wall clock to both the
+// setup and storm counters, and TakePhaseNs drains them.
+func TestTakePhaseNs(t *testing.T) {
+	sim, fail := phaseTestSim(t)
+	TakePhaseNs() // drop residue from other tests in the package
+	if _, err := sim.ConvergeAndFail(fail); err != nil {
+		t.Fatal(err)
+	}
+	setup, storm := TakePhaseNs()
+	if setup <= 0 || storm <= 0 {
+		t.Fatalf("phase counters not credited: setup=%d storm=%d", setup, storm)
+	}
+	if s2, st2 := TakePhaseNs(); s2 != 0 || st2 != 0 {
+		t.Fatalf("TakePhaseNs did not drain: setup=%d storm=%d", s2, st2)
+	}
+}
+
+// TestStormProfileCoversWindow: with a storm profile armed, one
+// ConvergeAndFail must produce a CPU profile scoped to its measurement
+// window — opened by the failure's window open, closed at quiescence.
+func TestStormProfileCoversWindow(t *testing.T) {
+	sim, fail := phaseTestSim(t)
+	cpu := filepath.Join(t.TempDir(), "storm-cpu.out")
+	profiling.SetStormProfile(cpu, "")
+	defer profiling.SetStormProfile("", "")
+	if _, err := sim.ConvergeAndFail(fail); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(cpu)
+	if err != nil {
+		t.Fatalf("storm CPU profile not written: %v", err)
+	}
+	if info.Size() == 0 {
+		t.Fatal("storm CPU profile is empty")
+	}
+}

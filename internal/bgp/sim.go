@@ -206,6 +206,10 @@ func (s *Simulator) Reset(params Params) error {
 	s.tab.reset()
 	s.pathCompactions = 0
 	s.setupShards(params)
+	// Fused same-time dispatch is a single-engine optimization: sharded
+	// runs are driven through des.Group, whose barrier accounting the
+	// fusion slot bypasses (see des.Engine.SetFusion).
+	s.eng.SetFusion(params.StormFusedDispatch && s.sh == nil)
 
 	maxAS := 0
 	for id := 0; id < s.net.NumNodes(); id++ {
@@ -383,6 +387,7 @@ func (s *Simulator) Collector() *metrics.Collector {
 // writes to (one in single-engine and sequenced modes, one per shard in
 // concurrent mode).
 func (s *Simulator) openWindow(at des.Time) {
+	stormProfileOpen() // storm-scoped CPU profile starts with the window
 	s.col.OpenWindow(at)
 	if s.sh != nil {
 		for _, c := range s.sh.cols {
@@ -765,12 +770,18 @@ const SettleMargin = 5 * time.Second
 // failure time (normalizeWindow) makes the two starts indistinguishable
 // from the measurement window onward.
 func (s *Simulator) ConvergeAndFail(nodes []int) (time.Duration, error) {
+	begin := time.Now()
 	if err := s.ConvergeInitial(); err != nil {
 		return 0, err
 	}
+	addSetupNs(begin)
 	failAt := s.Now() + SettleMargin
 	s.ScheduleFailure(failAt, nodes)
-	if err := s.Run(); err != nil {
+	begin = time.Now()
+	err := s.Run()
+	addStormNs(begin)
+	stormProfileClose() // quiescence closes the storm-scoped profile
+	if err != nil {
 		return 0, fmt.Errorf("re-convergence: %w", err)
 	}
 	return s.Collector().ConvergenceDelay(), nil
